@@ -1,0 +1,307 @@
+// Package dcg's root benchmark harness regenerates every table and figure
+// of the paper's evaluation as a testing.B benchmark (one per exhibit),
+// reporting the headline quantities as custom metrics, plus throughput
+// micro-benchmarks for the substrate components.
+//
+// Run everything:
+//
+//	go test -bench=. -benchmem
+//
+// Regenerate one figure's numbers at higher fidelity:
+//
+//	go test -bench=Fig10 -benchtime=1x
+//	go run ./cmd/dcgrepro -n 500000   # full-resolution tables
+package dcg_test
+
+import (
+	"testing"
+
+	"dcg/internal/config"
+	"dcg/internal/core"
+	"dcg/internal/cpu"
+	"dcg/internal/experiments"
+	"dcg/internal/mem"
+	"dcg/internal/trace"
+	"dcg/internal/workload"
+)
+
+// benchInsts keeps each exhibit's regeneration fast enough for -bench=.
+// while preserving the paper's shape; cmd/dcgrepro runs the full version.
+const benchInsts = 60_000
+
+// benchSubset is a representative 4-benchmark slice (2 int + 2 fp,
+// including the mcf/lucas stall outlier class).
+var benchSubset = []string{"gzip", "mcf", "swim", "mesa"}
+
+func newRunner() *experiments.Runner {
+	return experiments.NewRunner(experiments.Options{
+		Insts:      benchInsts,
+		Warmup:     50_000,
+		Benchmarks: benchSubset,
+	})
+}
+
+// BenchmarkTable1Baseline measures a baseline (no gating) run of the
+// Table 1 machine and reports its IPC — the substrate under every figure.
+func BenchmarkTable1Baseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sim := core.NewSimulator(core.DefaultMachine())
+		res, err := sim.RunBenchmark("gcc", core.SchemeNone, benchInsts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.IPC, "IPC")
+		b.ReportMetric(float64(res.Cycles), "cycles")
+	}
+}
+
+// BenchmarkSec44IntALUSweep regenerates the section 4.4 sweep (8/6/4
+// integer ALUs) and reports the relative performance of the 6- and 4-ALU
+// machines (paper: 98.8% and 92.7% worst-case).
+func BenchmarkSec44IntALUSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := newRunner().Sec44ALUSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*s.Rows[1].RelPerf, "relperf6%")
+		b.ReportMetric(100*s.Rows[2].RelPerf, "relperf4%")
+	}
+}
+
+// reportComparison publishes each series' suite means as metrics.
+func reportComparison(b *testing.B, c *experiments.Comparison) {
+	b.Helper()
+	for _, s := range c.Series {
+		b.ReportMetric(100*s.IntMean, s.Scheme+"-int%")
+		b.ReportMetric(100*s.FPMean, s.Scheme+"-fp%")
+	}
+}
+
+// BenchmarkFig10TotalPower regenerates Figure 10: total power savings of
+// DCG vs PLB-orig vs PLB-ext (paper: 20.9/18.8, 6.3/4.9, 11.0/8.7).
+func BenchmarkFig10TotalPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := newRunner().Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportComparison(b, c)
+	}
+}
+
+// BenchmarkFig11PowerDelay regenerates Figure 11: power-delay savings
+// (paper: DCG equals its power saving; PLB-orig 3.5/2.0; PLB-ext 8.3/5.9).
+func BenchmarkFig11PowerDelay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := newRunner().Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportComparison(b, c)
+	}
+}
+
+// BenchmarkFig12IntUnits regenerates Figure 12: integer execution unit
+// power savings (paper: DCG ~72%, PLB-ext ~29.6%).
+func BenchmarkFig12IntUnits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := newRunner().Fig12()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportComparison(b, c)
+	}
+}
+
+// BenchmarkFig13FPUnits regenerates Figure 13: FP unit power savings
+// (paper: DCG 77.2% on fp / ~100% on int; PLB-ext 23.0%).
+func BenchmarkFig13FPUnits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := newRunner().Fig13()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportComparison(b, c)
+	}
+}
+
+// BenchmarkFig14Latches regenerates Figure 14: pipeline latch power
+// savings including DCG's control overhead (paper: DCG 41.6%, PLB-ext
+// 17.6%).
+func BenchmarkFig14Latches(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := newRunner().Fig14()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportComparison(b, c)
+	}
+}
+
+// BenchmarkFig15DCache regenerates Figure 15: D-cache power savings
+// (paper: DCG 22.6%, PLB-ext 8.1%).
+func BenchmarkFig15DCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := newRunner().Fig15()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportComparison(b, c)
+	}
+}
+
+// BenchmarkFig16ResultBus regenerates Figure 16: result bus driver power
+// savings (paper: DCG 59.6%, PLB-ext 32.2%).
+func BenchmarkFig16ResultBus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := newRunner().Fig16()
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportComparison(b, c)
+	}
+}
+
+// BenchmarkFig17DeepPipeline regenerates Figure 17: DCG savings on the
+// 8-stage vs 20-stage pipeline (paper: 19.9% vs 24.5%).
+func BenchmarkFig17DeepPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := newRunner().Fig17()
+		if err != nil {
+			b.Fatal(err)
+		}
+		s8, s20 := c.Series[0], c.Series[1]
+		b.ReportMetric(100*(s8.IntMean+s8.FPMean)/2, "8stage%")
+		b.ReportMetric(100*(s20.IntMean+s20.FPMean)/2, "20stage%")
+	}
+}
+
+// BenchmarkUtilization regenerates the section 5.2-5.5 baseline structure
+// utilisations that the paper's expected-savings arithmetic builds on.
+func BenchmarkUtilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		u, err := newRunner().Utilization()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var intU, latch, ports, bus float64
+		for _, row := range u.Rows {
+			intU += row.Util.IntUnits
+			latch += row.Util.Latches
+			ports += row.Util.DPorts
+			bus += row.Util.ResultBus
+		}
+		n := float64(len(u.Rows))
+		b.ReportMetric(100*intU/n, "int-util%")
+		b.ReportMetric(100*latch/n, "latch-util%")
+		b.ReportMetric(100*ports/n, "dport-util%")
+		b.ReportMetric(100*bus/n, "bus-util%")
+	}
+}
+
+// BenchmarkAblationDCGContribution regenerates the mechanism-contribution
+// ablation (units -> +latches -> +dcache -> +bus) and reports each step's
+// cumulative saving.
+func BenchmarkAblationDCGContribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := newRunner().DCGContribution()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*a.Rows[0].Saving, "units%")
+		b.ReportMetric(100*a.Rows[1].Saving, "+latch%")
+		b.ReportMetric(100*a.Rows[2].Saving, "+dcache%")
+		b.ReportMetric(100*a.Rows[3].Saving, "full%")
+	}
+}
+
+// BenchmarkAblationSelectionPolicy regenerates the section 3.1 policy
+// ablation and reports clock-gate control toggles per cycle.
+func BenchmarkAblationSelectionPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := newRunner().SelectionPolicy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*a.Rows[0].Saving, "seq%")
+		b.ReportMetric(100*a.Rows[1].Saving, "rr%")
+	}
+}
+
+// BenchmarkAblationLeakage regenerates the leakage-erosion sweep.
+func BenchmarkAblationLeakage(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		a, err := newRunner().Leakage()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*a.Rows[0].Saving, "lk0%")
+		b.ReportMetric(100*a.Rows[len(a.Rows)-1].Saving, "lk40%")
+	}
+}
+
+// ---- Substrate micro-benchmarks ----
+
+// BenchmarkSimulatorThroughput measures raw simulation speed in
+// instructions per second of host time.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	prof, _ := workload.ByName("gcc")
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		gen, err := workload.NewGenerator(prof)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := cpu.New(config.Default(), trace.NewLimitSource(gen, 100_000))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		total += 100_000
+	}
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "insts/s")
+}
+
+// BenchmarkWorkloadGenerator measures stream generation throughput.
+func BenchmarkWorkloadGenerator(b *testing.B) {
+	prof, _ := workload.ByName("swim")
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gen.Next()
+	}
+}
+
+// BenchmarkCacheAccess measures the D-cache model's access latency.
+func BenchmarkCacheAccess(b *testing.B) {
+	c, err := mem.NewCache(config.Default().DL1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i*64)&0xFFFFF, i&7 == 0)
+	}
+}
+
+// BenchmarkDCGRun measures a full DCG-instrumented simulation (core +
+// power accounting + gating controller), the configuration every figure
+// uses.
+func BenchmarkDCGRun(b *testing.B) {
+	sim := core.NewSimulator(core.DefaultMachine())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.RunBenchmark("swim", core.SchemeDCG, benchInsts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Saving, "save%")
+	}
+}

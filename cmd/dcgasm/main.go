@@ -1,0 +1,97 @@
+// Command dcgasm assembles a program for the simulator's ISA and runs it —
+// functionally on the emulator, or cycle-accurately on the out-of-order
+// pipeline under a chosen clock-gating scheme.
+//
+// Usage:
+//
+//	dcgasm -list prog.s              # assemble and print a listing
+//	dcgasm -run prog.s               # execute functionally, dump registers
+//	dcgasm -pipe -scheme dcg prog.s  # run on the pipeline, print stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcg/internal/asm"
+	"dcg/internal/core"
+	"dcg/internal/emu"
+)
+
+func main() {
+	var (
+		list   = flag.Bool("list", false, "print the assembled listing")
+		run    = flag.Bool("run", false, "execute functionally and dump registers")
+		pipe   = flag.Bool("pipe", false, "run on the cycle-level pipeline")
+		scheme = flag.String("scheme", "dcg", "gating scheme for -pipe")
+		limit  = flag.Uint64("limit", 10_000_000, "dynamic instruction limit")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: dcgasm [-list] [-run] [-pipe] prog.s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcgasm:", err)
+		os.Exit(1)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcgasm:", err)
+		os.Exit(1)
+	}
+	if *list {
+		fmt.Print(asm.Disassemble(prog))
+	}
+	if *run {
+		m := emu.New(flag.Arg(0), prog)
+		m.MaxInsts = *limit
+		n, err := m.Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcgasm:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("executed %d instructions\n", n)
+		for i, v := range m.IntRegs {
+			if v != 0 {
+				fmt.Printf("  r%-2d = %d\n", i, v)
+			}
+		}
+		for i, v := range m.FPRegs {
+			if v != 0 {
+				fmt.Printf("  f%-2d = %g\n", i, v)
+			}
+		}
+	}
+	if *pipe {
+		kind, ok := parseScheme(*scheme)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "dcgasm: unknown scheme %q\n", *scheme)
+			os.Exit(2)
+		}
+		m := emu.New(flag.Arg(0), prog)
+		m.MaxInsts = *limit
+		sim := core.NewSimulator(core.DefaultMachine())
+		res, err := sim.RunSource(m, kind)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcgasm:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Summary())
+	}
+	if !*list && !*run && !*pipe {
+		fmt.Printf("assembled %d instructions at %#x (use -list, -run or -pipe)\n",
+			len(prog.Insts), prog.Base)
+	}
+}
+
+func parseScheme(s string) (core.SchemeKind, bool) {
+	for _, k := range core.AllSchemes() {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}

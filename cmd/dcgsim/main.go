@@ -1,0 +1,195 @@
+// Command dcgsim runs one benchmark (or the full suite) under a chosen
+// clock-gating scheme and prints performance, utilisation, and power
+// statistics.
+//
+// Usage:
+//
+//	dcgsim -bench gcc -scheme dcg -n 500000
+//	dcgsim -bench all -scheme none -n 200000
+//	dcgsim -bench mcf -scheme plb-ext -deep -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dcg/internal/core"
+	"dcg/internal/power"
+	"dcg/internal/stats"
+	"dcg/internal/trace"
+	"dcg/internal/workload"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "all", "benchmark name, or 'all', 'int', 'fp'")
+		scheme  = flag.String("scheme", "dcg", "gating scheme: none, dcg, plb-orig, plb-ext")
+		n       = flag.Uint64("n", 200_000, "dynamic instructions to simulate per benchmark")
+		deep    = flag.Bool("deep", false, "use the 20-stage deep pipeline (section 5.6)")
+		verbose = flag.Bool("v", false, "print the per-component energy breakdown")
+		record  = flag.String("record", "", "capture the benchmark's dynamic stream to a trace file and exit")
+		replay  = flag.String("replay", "", "simulate a previously recorded trace file instead of a benchmark")
+		profile = flag.String("profile", "", "run a custom workload profile from a JSON file")
+	)
+	flag.Parse()
+
+	kind, err := parseScheme(*scheme)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	machine := core.DefaultMachine()
+	if *deep {
+		machine = core.DeepMachine()
+	}
+	sim := core.NewSimulator(machine)
+
+	if *record != "" {
+		if err := recordTrace(*record, *bench, *n); err != nil {
+			fmt.Fprintln(os.Stderr, "dcgsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *replay != "" {
+		if err := replayTrace(sim, *replay, kind, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "dcgsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *profile != "" {
+		if err := runProfile(sim, *profile, kind, *n, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "dcgsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	var names []string
+	switch *bench {
+	case "all":
+		names = core.Benchmarks()
+	case "int":
+		names = core.IntBenchmarks()
+	case "fp":
+		names = core.FPBenchmarks()
+	default:
+		names = []string{*bench}
+	}
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("scheme=%s insts=%d depth=%d", kind, *n, machine.Pipeline.Depth),
+		"bench", "IPC", "save%", "int-u%", "fp-u%", "latch%", "dport%", "bus%", "bpred%", "dl1m%")
+	var savings []float64
+	for _, name := range names {
+		res, err := sim.RunBenchmark(name, kind, *n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dcgsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		tbl.AddRowf(name,
+			fmt.Sprintf("%.2f", res.IPC),
+			100*res.Saving,
+			100*res.Util.IntUnits, 100*res.Util.FPUnits, 100*res.Util.Latches,
+			100*res.Util.DPorts, 100*res.Util.ResultBus,
+			100*res.BranchAccuracy, 100*res.DL1MissRate)
+		savings = append(savings, res.Saving)
+		if *verbose {
+			fmt.Println(res.Summary())
+			fmt.Println(res.Energy.String())
+		}
+	}
+	fmt.Print(tbl.String())
+	fmt.Printf("mean saving: %.1f%%\n", 100*stats.Mean(savings))
+
+	if *verbose {
+		m, _ := power.NewModel(machine)
+		fmt.Printf("baseline per-cycle power: %.0f units\n", m.AllOnPower())
+	}
+}
+
+// recordTrace captures a benchmark's dynamic stream to a trace file.
+func recordTrace(path, bench string, n uint64) error {
+	prof, ok := workload.ByName(bench)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (use a single name with -record)", bench)
+	}
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	count, err := trace.Record(f, gen, n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d instructions of %s to %s\n", count, bench, path)
+	return nil
+}
+
+// replayTrace simulates a recorded trace file.
+func replayTrace(sim *core.Simulator, path string, kind core.SchemeKind, verbose bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	src, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	res, err := sim.RunSource(src, kind)
+	if err != nil {
+		return err
+	}
+	if src.Err() != nil {
+		return src.Err()
+	}
+	fmt.Print(res.Summary())
+	if verbose {
+		fmt.Println(res.Energy.String())
+	}
+	return nil
+}
+
+// runProfile simulates a custom JSON workload profile.
+func runProfile(sim *core.Simulator, path string, kind core.SchemeKind, n uint64, verbose bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	prof, err := workload.LoadProfile(f)
+	if err != nil {
+		return err
+	}
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		return err
+	}
+	res, err := sim.RunStream(gen, kind, n)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Summary())
+	if verbose {
+		fmt.Println(res.Energy.String())
+	}
+	return nil
+}
+
+func parseScheme(s string) (core.SchemeKind, error) {
+	for _, k := range core.AllSchemes() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("dcgsim: unknown scheme %q (want none|dcg|plb-orig|plb-ext)", s)
+}

@@ -1,0 +1,45 @@
+// compare_gating reproduces the paper's headline comparison (Figures 10
+// and 11) on the full 16-benchmark suite: DCG versus PLB-orig and PLB-ext,
+// in power and in power-delay.
+//
+//	go run ./examples/compare_gating
+//	go run ./examples/compare_gating -n 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"dcg/internal/experiments"
+)
+
+func main() {
+	n := flag.Uint64("n", 200_000, "instructions per benchmark")
+	flag.Parse()
+
+	r := experiments.NewRunner(experiments.Options{Insts: *n})
+
+	fig10, err := r.Fig10()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig10.Table().String())
+	fmt.Println("  " + fig10.PaperNote)
+	fmt.Println()
+
+	fig11, err := r.Fig11()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(fig11.Table().String())
+	fmt.Println("  " + fig11.PaperNote)
+	fmt.Println()
+
+	perf, err := r.PerfLoss()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(perf.Table().String())
+	fmt.Println("  " + perf.PaperNote)
+}

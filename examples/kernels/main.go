@@ -1,0 +1,38 @@
+// kernels runs the real-program kernel library (assembled from the
+// simulator's ISA, executed by the functional emulator) through the
+// cycle-level pipeline under DCG, showing how program character drives
+// gating opportunity: serial pointer chases idle the machine and gate
+// deeply, dense loops keep it busy.
+//
+//	go run ./examples/kernels
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcg/internal/core"
+	"dcg/internal/kernels"
+)
+
+func main() {
+	sim := core.NewSimulator(core.DefaultMachine())
+
+	fmt.Printf("%-8s %9s %7s %8s %8s  %s\n",
+		"kernel", "insts", "IPC", "save%", "cycles", "description")
+	for _, k := range kernels.All() {
+		// Ground truth first: the kernel must compute the right answer.
+		if _, err := k.Verify(); err != nil {
+			log.Fatal(err)
+		}
+		res, err := sim.RunSource(k.Machine(), core.SchemeDCG)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s %9d %7.2f %7.1f%% %8d  %s\n",
+			k.Name, res.Committed, res.IPC, 100*res.Saving, res.Cycles, k.Desc)
+	}
+	fmt.Println("\nNote the spread: the serial pointer chase gates far more of the")
+	fmt.Println("machine than the dense loops — the same effect that makes mcf and")
+	fmt.Println("lucas the paper's best DCG cases.")
+}

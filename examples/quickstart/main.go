@@ -1,0 +1,35 @@
+// Quickstart: run one benchmark under DCG and print the headline numbers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dcg/internal/core"
+)
+
+func main() {
+	// The Table 1 machine: 8-wide out-of-order, 128-entry window, the
+	// paper's caches, branch predictor, and functional unit pool.
+	sim := core.NewSimulator(core.DefaultMachine())
+
+	// Simulate 200k instructions of a SPEC2000-like benchmark with
+	// deterministic clock gating.
+	res, err := sim.RunBenchmark("gcc", core.SchemeDCG, 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(res.Summary())
+	fmt.Printf("\nDCG gated away %.1f%% of total processor power.\n", 100*res.Saving)
+	fmt.Printf("Performance cost: exactly zero — run the baseline and compare:\n\n")
+
+	base, err := sim.RunBenchmark("gcc", core.SchemeNone, 200_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  baseline: %d cycles   dcg: %d cycles   (identical: %v)\n",
+		base.Cycles, res.Cycles, base.Cycles == res.Cycles)
+}

@@ -1,0 +1,3 @@
+module dcg
+
+go 1.22

@@ -1,0 +1,398 @@
+// Package core is the library's public API: it wires a workload, the
+// out-of-order core, the Wattch-style power model, and a clock-gating
+// scheme into a single simulation run and reports the paper's metrics
+// (IPC, per-component power, savings versus the no-gating baseline,
+// structure utilisations).
+//
+// Typical use:
+//
+//	sim := core.NewSimulator(core.DefaultMachine())
+//	res, err := sim.RunBenchmark("gcc", core.SchemeDCG, 200_000)
+//	fmt.Println(res.Summary())
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"dcg/internal/config"
+	"dcg/internal/cpu"
+	"dcg/internal/gating"
+	"dcg/internal/power"
+	"dcg/internal/trace"
+	"dcg/internal/workload"
+)
+
+// SchemeKind selects the clock-gating methodology for a run.
+type SchemeKind int
+
+// The four schemes of the paper's evaluation.
+const (
+	SchemeNone SchemeKind = iota
+	SchemeDCG
+	SchemePLBOrig
+	SchemePLBExt
+)
+
+var schemeNames = [...]string{"none", "dcg", "plb-orig", "plb-ext"}
+
+// String returns the scheme name.
+func (k SchemeKind) String() string {
+	if int(k) < len(schemeNames) {
+		return schemeNames[k]
+	}
+	return fmt.Sprintf("scheme(%d)", int(k))
+}
+
+// AllSchemes lists every scheme, baseline first.
+func AllSchemes() []SchemeKind {
+	return []SchemeKind{SchemeNone, SchemeDCG, SchemePLBOrig, SchemePLBExt}
+}
+
+// DefaultMachine returns the Table 1 processor configuration.
+func DefaultMachine() config.Config { return config.Default() }
+
+// DeepMachine returns the 20-stage configuration of section 5.6.
+func DeepMachine() config.Config { return config.Deep() }
+
+// StallStack attributes the run's cycles: a CPI-stack-style breakdown of
+// where the machine's time went (fractions of total cycles; Busy is the
+// residual in which at least one instruction issued).
+type StallStack struct {
+	Busy        float64 // cycles with at least one instruction issued
+	FetchBubble float64 // front end stalled: mispredict resolution + redirect + I-miss
+	WindowEmpty float64 // window drained (front end could not refill)
+	WindowStall float64 // window/LSQ full (long-latency head blocking)
+	Other       float64 // issue-less cycles not otherwise classified
+}
+
+// Utilization summarises structure activity over a run (the quantities the
+// paper reports in sections 5.2-5.5).
+type Utilization struct {
+	IntUnits  float64 // integer ALU + mult/div busy fraction
+	FPUnits   float64 // FP ALU + mult/div busy fraction
+	Latches   float64 // gatable latch slot occupancy
+	DPorts    float64 // D-cache port activity
+	ResultBus float64 // result-bus activity
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	Benchmark string
+	Scheme    string
+	Machine   config.Config
+
+	Cycles    uint64
+	Committed uint64
+	IPC       float64
+
+	// AvgPower is the mean per-cycle power under the scheme;
+	// BaselinePower is the all-on per-cycle power of the same machine.
+	AvgPower      float64
+	BaselinePower float64
+
+	// Saving is the fractional power saving versus the baseline.
+	Saving float64
+
+	Energy power.Breakdown
+
+	Util  Utilization
+	Stall StallStack
+
+	// Branch/cache behaviour.
+	BranchAccuracy float64
+	DL1MissRate    float64
+	L2MissRate     float64
+
+	// PLBModeCycles is non-nil for PLB runs: cycles spent per issue-width
+	// mode.
+	PLBModeCycles map[int]uint64
+
+	// Soundness counters (must be zero for DCG).
+	GateViolations uint64
+	LeadViolations uint64
+
+	// CPUStats is the raw core statistics snapshot.
+	CPUStats cpu.Stats
+
+	model *power.Model
+	acct  *power.Accountant
+}
+
+// ComponentSaving exposes per-structure savings for the figure harnesses.
+func (r *Result) ComponentSaving(comps ...power.Component) float64 {
+	return r.acct.ComponentSaving(comps...)
+}
+
+// LatchSaving returns the Figure 14 quantity (saving over total latch
+// power including DCG control overhead).
+func (r *Result) LatchSaving() float64 { return r.acct.LatchSaving() }
+
+// DCacheSaving returns the Figure 15 quantity (saving over total D-cache
+// power).
+func (r *Result) DCacheSaving() float64 { return r.acct.DCacheSaving() }
+
+// Model returns the power model used by the run.
+func (r *Result) Model() *power.Model { return r.model }
+
+// PowerDelay returns the run's power-delay product (average power times
+// cycle count).
+func (r *Result) PowerDelay() float64 { return r.AvgPower * float64(r.Cycles) }
+
+// Summary renders a human-readable run summary.
+func (r *Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s / %s: %d insts in %d cycles (IPC %.2f)\n",
+		r.Benchmark, r.Scheme, r.Committed, r.Cycles, r.IPC)
+	fmt.Fprintf(&b, "  power %.0f / baseline %.0f  -> saving %.1f%%\n",
+		r.AvgPower, r.BaselinePower, 100*r.Saving)
+	fmt.Fprintf(&b, "  util: int %.0f%%  fp %.0f%%  latch %.0f%%  dport %.0f%%  bus %.0f%%\n",
+		100*r.Util.IntUnits, 100*r.Util.FPUnits, 100*r.Util.Latches,
+		100*r.Util.DPorts, 100*r.Util.ResultBus)
+	fmt.Fprintf(&b, "  branches %.1f%% correct, DL1 miss %.1f%%, L2 miss %.1f%%\n",
+		100*r.BranchAccuracy, 100*r.DL1MissRate, 100*r.L2MissRate)
+	fmt.Fprintf(&b, "  cycles: %.0f%% busy, %.0f%% fetch bubbles, %.0f%% window-full, %.0f%% empty\n",
+		100*r.Stall.Busy, 100*r.Stall.FetchBubble, 100*r.Stall.WindowStall, 100*r.Stall.WindowEmpty)
+	if r.PLBModeCycles != nil {
+		fmt.Fprintf(&b, "  plb modes: 8w=%d 6w=%d 4w=%d\n",
+			r.PLBModeCycles[gating.Mode8], r.PLBModeCycles[gating.Mode6], r.PLBModeCycles[gating.Mode4])
+	}
+	return b.String()
+}
+
+// Simulator runs benchmarks on a fixed machine configuration.
+type Simulator struct {
+	machine config.Config
+
+	// PLBParams configures the PLB trigger; zero value means defaults.
+	PLBParams gating.PLBParams
+
+	// Warmup is the number of instructions functionally streamed through
+	// the caches and branch predictor before the measured region starts
+	// (the stand-in for the paper's 2-billion-instruction fast-forward).
+	Warmup uint64
+
+	// LeakageFrac extends the paper's zero-leakage accounting: gated
+	// structures still burn this fraction of their dynamic power.
+	// Default 0, as in the paper (section 4.2).
+	LeakageFrac float64
+}
+
+// DefaultWarmup is the default functional warm-up length.
+const DefaultWarmup = 200_000
+
+// NewSimulator builds a simulator for the given machine.
+func NewSimulator(machine config.Config) *Simulator {
+	return &Simulator{
+		machine:   machine,
+		PLBParams: gating.DefaultPLBParams(),
+		Warmup:    DefaultWarmup,
+	}
+}
+
+// Machine returns the simulator's machine configuration.
+func (s *Simulator) Machine() config.Config { return s.machine }
+
+// makeScheme instantiates a gating scheme for this machine.
+func (s *Simulator) makeScheme(kind SchemeKind) (gating.Scheme, error) {
+	switch kind {
+	case SchemeNone:
+		return gating.NewNone(s.machine), nil
+	case SchemeDCG:
+		return gating.NewDCG(s.machine), nil
+	case SchemePLBOrig:
+		return gating.NewPLB(s.machine, s.PLBParams, false), nil
+	case SchemePLBExt:
+		return gating.NewPLB(s.machine, s.PLBParams, true), nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %v", kind)
+	}
+}
+
+// RunBenchmark simulates maxInsts dynamic instructions of the named
+// built-in benchmark under the given scheme.
+func (s *Simulator) RunBenchmark(name string, kind SchemeKind, maxInsts uint64) (*Result, error) {
+	scheme, err := s.makeScheme(kind)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunBenchmarkScheme(name, scheme, maxInsts)
+}
+
+// RunBenchmarkScheme is RunBenchmark with a caller-provided gating scheme
+// (partial-DCG ablations, custom controllers).
+func (s *Simulator) RunBenchmarkScheme(name string, scheme gating.Scheme, maxInsts uint64) (*Result, error) {
+	prof, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown benchmark %q", name)
+	}
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		return nil, err
+	}
+	warm := trace.NewLimitSource(gen, s.Warmup)
+	return s.run(warm, trace.NewLimitSource(gen, maxInsts), scheme)
+}
+
+// RunStream warms the machine on the stream's first Warmup instructions,
+// then measures the next maxInsts (for custom trace.Sources that should be
+// treated like benchmarks).
+func (s *Simulator) RunStream(src trace.Source, kind SchemeKind, maxInsts uint64) (*Result, error) {
+	scheme, err := s.makeScheme(kind)
+	if err != nil {
+		return nil, err
+	}
+	warm := trace.NewLimitSource(src, s.Warmup)
+	return s.run(warm, trace.NewLimitSource(src, maxInsts), scheme)
+}
+
+// RunSource simulates the given instruction source to exhaustion under the
+// given scheme.
+func (s *Simulator) RunSource(src trace.Source, kind SchemeKind) (*Result, error) {
+	scheme, err := s.makeScheme(kind)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunScheme(src, scheme)
+}
+
+// RunScheme simulates with a caller-provided gating scheme (for custom
+// schemes and ablations). No warm-up pass is applied; use RunBenchmark for
+// warmed runs.
+func (s *Simulator) RunScheme(src trace.Source, scheme gating.Scheme) (*Result, error) {
+	return s.run(nil, src, scheme)
+}
+
+// run optionally warms the machine on warmSrc, then simulates src.
+func (s *Simulator) run(warmSrc, src trace.Source, scheme gating.Scheme) (*Result, error) {
+	machine := s.machine
+	c, err := cpu.New(machine, src)
+	if err != nil {
+		return nil, err
+	}
+	model, err := power.NewModel(machine)
+	if err != nil {
+		return nil, err
+	}
+	acct := power.NewAccountant(model, scheme)
+	acct.LeakageFrac = s.LeakageFrac
+	c.SetThrottle(scheme)
+	c.SetIssueListener(scheme)
+	c.SetObserver(acct)
+	if warmSrc != nil {
+		c.Warm(warmSrc, ^uint64(0))
+	}
+
+	// Cycle-limit backstop: generous multiple of the instruction count.
+	if _, err := c.Run(0); err != nil {
+		return nil, err
+	}
+	if err := acct.Validate(); err != nil {
+		return nil, err
+	}
+
+	st := c.Stats()
+	res := &Result{
+		Benchmark:     src.Name(),
+		Scheme:        scheme.Name(),
+		Machine:       machine,
+		Cycles:        st.Cycles,
+		Committed:     st.Committed,
+		IPC:           st.IPC(),
+		AvgPower:      acct.AvgPower(),
+		BaselinePower: model.AllOnPower(),
+		Saving:        acct.Saving(),
+		Energy:        acct.Energy,
+		CPUStats:      *st,
+		model:         model,
+		acct:          acct,
+	}
+	res.Util = utilization(machine, st)
+	res.Stall = stallStack(st)
+	res.BranchAccuracy = ratio(st.CondCorrect, st.CondBranches)
+	res.DL1MissRate = c.Hierarchy().DL1.MissRate()
+	res.L2MissRate = c.Hierarchy().L2.MissRate()
+
+	if plb, ok := scheme.(*gating.PLB); ok {
+		res.PLBModeCycles = plb.ModeCycles()
+	}
+	if dcg, ok := scheme.(*gating.DCG); ok {
+		res.LeadViolations = dcg.LeadViolations
+	}
+	res.GateViolations = acct.GateViolations
+	return res, nil
+}
+
+func utilization(m config.Config, st *cpu.Stats) Utilization {
+	cyc := float64(st.Cycles)
+	if cyc == 0 {
+		return Utilization{}
+	}
+	intUnits := float64(m.FU.IntALU + m.FU.IntMult)
+	fpUnits := float64(m.FU.FPALU + m.FU.FPMult)
+	latchSlots := float64(m.IssueWidth * st.LatchStages)
+	return Utilization{
+		IntUnits:  float64(st.FUBusyCycles[cpu.FUIntALU]+st.FUBusyCycles[cpu.FUIntMult]) / (intUnits * cyc),
+		FPUnits:   float64(st.FUBusyCycles[cpu.FUFPALU]+st.FUBusyCycles[cpu.FUFPMult]) / (fpUnits * cyc),
+		Latches:   float64(st.LatchSlotFlow) / (latchSlots * cyc),
+		DPorts:    float64(st.DPortCycles) / (float64(m.DL1.Ports) * cyc),
+		ResultBus: float64(st.ResultBusBusy) / (float64(m.IssueWidth) * cyc),
+	}
+}
+
+// stallStack classifies the run's cycles. The classes overlap in the raw
+// counters (a cycle can be both window-full and fetch-stalled); precedence
+// here is fetch bubbles, then window pressure, matching how CPI stacks are
+// conventionally attributed.
+func stallStack(st *cpu.Stats) StallStack {
+	cyc := float64(st.Cycles)
+	if cyc == 0 {
+		return StallStack{}
+	}
+	idle := float64(st.Cycles - min64(st.Cycles, st.IssueCycles))
+	fetch := float64(st.StallResolve + st.StallICache)
+	empty := float64(st.RobEmpty)
+	full := float64(st.RobFullStall + st.LSQFullStall)
+	// Normalise the overlapping attributions into the idle budget.
+	total := fetch + empty + full
+	if total > idle && total > 0 {
+		scale := idle / total
+		fetch *= scale
+		empty *= scale
+		full *= scale
+	}
+	other := idle - fetch - empty - full
+	if other < 0 {
+		other = 0
+	}
+	return StallStack{
+		Busy:        1 - idle/cyc,
+		FetchBubble: fetch / cyc,
+		WindowEmpty: empty / cyc,
+		WindowStall: full / cyc,
+		Other:       other / cyc,
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+// Benchmarks returns the built-in benchmark names (integer suite first).
+func Benchmarks() []string { return workload.Names() }
+
+// IntBenchmarks returns the integer-suite benchmark names.
+func IntBenchmarks() []string { return workload.IntNames() }
+
+// FPBenchmarks returns the FP-suite benchmark names.
+func FPBenchmarks() []string { return workload.FPNames() }

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dcg/internal/trace"
+	"dcg/internal/workload"
+)
+
+// randomProfile derives a valid workload profile from raw fuzz bytes,
+// spanning the whole knob space (op mixes, memory behaviours, branch
+// behaviours, ILP structure).
+func randomProfile(seed uint64, k [12]byte) workload.Profile {
+	u := func(i int) float64 { return float64(k[i]) / 255.0 }
+	mix := workload.OpMix{
+		IntALU:  0.2 + 0.5*u(0),
+		IntMult: 0.02 * u(1),
+		FPALU:   0.2 * u(2),
+		FPMult:  0.1 * u(3),
+		Load:    0.08 + 0.2*u(4),
+		Store:   0.03 + 0.08*u(5),
+		Branch:  0.08 + 0.12*u(6),
+		Jump:    0.01 + 0.03*u(7),
+	}.Normalize()
+	hot := 0.3 + 0.65*u(8)
+	warm := (1 - hot) * u(9)
+	cold := 1 - hot - warm
+	return workload.Profile{
+		Name: "fuzz", Class: workload.ClassInt, Seed: seed,
+		Mix: mix,
+		Mem: workload.MemMix{
+			HotFrac: hot, WarmFrac: warm, ColdFrac: cold,
+			HotBytes: 16 << 10, WarmBytes: 128 << 10, ColdBytes: 32 << 20,
+			Stride:       8 + 8*uint64(k[10]%3),
+			PointerChase: k[10]&0x80 != 0,
+			ChaseFrac:    0.5 * u(10),
+		},
+		Branch: workload.BranchMix{
+			LoopFrac: 0.5 + 0.3*u(11), BiasedFrac: 0.3 * (1 - u(11)), RandomFrac: 0.2 * (1 - u(11)),
+			LoopIterMean: 4 + 40*u(0), BiasedTakenProb: 0.85 + 0.1*u(1), CallFrac: 0.3 * u(2),
+		},
+		Blocks:       32 + int(k[3])%128,
+		BlockLenMean: 11 + float64(k[4]%8),
+		DepDistMean:  5 + 12*u(5),
+		SerialFrac:   0.1 * u(6),
+	}
+}
+
+// TestQuickDCGInvariantsOnRandomWorkloads is the repository's capstone
+// property test: for arbitrary workload shapes, the paper's guarantees
+// must hold exactly —
+//
+//  1. soundness: DCG never gates a used structure (GateViolations == 0),
+//  2. determinism: every gate decision is set up in advance
+//     (LeadViolations == 0),
+//  3. no performance loss: DCG's cycle count equals the baseline's
+//     EXACTLY,
+//  4. energy conservation: savings in [0, 1), power below baseline.
+func TestQuickDCGInvariantsOnRandomWorkloads(t *testing.T) {
+	f := func(seed uint64, k [12]byte) bool {
+		prof := randomProfile(seed, k)
+		if prof.Validate() != nil {
+			return true // not a valid point in the knob space; skip
+		}
+		runOne := func(kind SchemeKind) *Result {
+			gen, err := workload.NewGenerator(prof)
+			if err != nil {
+				t.Logf("generator: %v", err)
+				return nil
+			}
+			sim := NewSimulator(DefaultMachine())
+			res, err := sim.RunSource(trace.NewLimitSource(gen, 6_000), kind)
+			if err != nil {
+				t.Logf("run: %v", err)
+				return nil
+			}
+			return res
+		}
+		base := runOne(SchemeNone)
+		dcg := runOne(SchemeDCG)
+		if base == nil || dcg == nil {
+			return false
+		}
+		if dcg.GateViolations != 0 || dcg.LeadViolations != 0 {
+			t.Logf("violations: gate=%d lead=%d", dcg.GateViolations, dcg.LeadViolations)
+			return false
+		}
+		if dcg.Cycles != base.Cycles {
+			t.Logf("cycles: dcg=%d base=%d", dcg.Cycles, base.Cycles)
+			return false
+		}
+		if dcg.Saving <= 0 || dcg.Saving >= 1 {
+			t.Logf("saving out of range: %v", dcg.Saving)
+			return false
+		}
+		if dcg.AvgPower >= base.AvgPower {
+			t.Logf("power not reduced: %v >= %v", dcg.AvgPower, base.AvgPower)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickPLBNeverGainsPerformance: for arbitrary workloads, PLB may lose
+// performance but can never gain it, and its gating must never beat the
+// physically possible bound (its savings stay within the gatable
+// fraction).
+func TestQuickPLBNeverGainsPerformance(t *testing.T) {
+	f := func(seed uint64, k [12]byte) bool {
+		prof := randomProfile(seed, k)
+		if prof.Validate() != nil {
+			return true
+		}
+		run := func(kind SchemeKind) *Result {
+			gen, err := workload.NewGenerator(prof)
+			if err != nil {
+				return nil
+			}
+			sim := NewSimulator(DefaultMachine())
+			res, err := sim.RunSource(trace.NewLimitSource(gen, 6_000), kind)
+			if err != nil {
+				return nil
+			}
+			return res
+		}
+		base := run(SchemeNone)
+		plb := run(SchemePLBExt)
+		if base == nil || plb == nil {
+			return false
+		}
+		// Throttling changes the memory access interleaving, which can
+		// shift cache evictions and MSHR queueing; like real scheduling
+		// anomalies, this occasionally yields a fractionally FASTER run.
+		// Require no more than a 1% anomaly, not strict monotonicity.
+		if float64(plb.Cycles) < 0.99*float64(base.Cycles) {
+			t.Logf("PLB gained >1%% performance: %d vs %d", plb.Cycles, base.Cycles)
+			return false
+		}
+		if plb.Saving < 0 || plb.Saving >= 1 {
+			t.Logf("PLB saving out of range: %v", plb.Saving)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if testing.Short() {
+		cfg.MaxCount = 4
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRunDeterminism: two identical runs must agree bit-for-bit in every
+// reported quantity (the repository's reproducibility contract).
+func TestRunDeterminism(t *testing.T) {
+	run := func() *Result {
+		sim := NewSimulator(DefaultMachine())
+		sim.Warmup = 30_000
+		res, err := sim.RunBenchmark("equake", SchemePLBExt, 50_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Cycles != b.Cycles || a.AvgPower != b.AvgPower || a.IPC != b.IPC ||
+		a.Saving != b.Saving || a.DL1MissRate != b.DL1MissRate {
+		t.Fatalf("non-deterministic results:\n%+v\n%+v", a, b)
+	}
+	if a.Energy != b.Energy {
+		t.Fatal("non-deterministic energy breakdown")
+	}
+}

@@ -1,0 +1,278 @@
+// Package emu is a functional emulator for assembled programs. It executes
+// the architectural semantics of the ISA and emits the dynamic instruction
+// stream (with resolved branch outcomes and effective addresses) that the
+// cycle-level pipeline consumes, making the simulator execution-driven for
+// real programs in addition to the synthetic workloads.
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"dcg/internal/asm"
+	"dcg/internal/isa"
+	"dcg/internal/trace"
+)
+
+// Machine is the architectural state of a running program.
+type Machine struct {
+	prog *asm.Program
+	name string
+
+	PC      uint64
+	IntRegs [isa.NumIntRegs]int64
+	FPRegs  [isa.NumFPRegs]float64
+
+	// Sparse memory, 8-byte granules keyed by aligned address.
+	mem map[uint64]uint64
+
+	halted   bool
+	limitHit bool
+	seq      uint64
+
+	// Executed counts dynamically executed instructions.
+	Executed uint64
+
+	// MaxInsts guards against runaway programs (0 = no limit).
+	MaxInsts uint64
+}
+
+// New builds a machine for an assembled program.
+func New(name string, prog *asm.Program) *Machine {
+	return &Machine{
+		prog: prog,
+		name: name,
+		PC:   prog.Base,
+		mem:  make(map[uint64]uint64),
+	}
+}
+
+// MustAssemble assembles src and builds a machine, panicking on errors
+// (for examples and tests with literal programs).
+func MustAssemble(name, src string) *Machine {
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return New(name, prog)
+}
+
+// Name implements trace.Source.
+func (m *Machine) Name() string { return m.name }
+
+// Halted reports whether the program has executed halt.
+func (m *Machine) Halted() bool { return m.halted }
+
+// ReadMem returns the 64-bit value at an 8-aligned address.
+func (m *Machine) ReadMem(addr uint64) int64 { return int64(m.mem[addr&^7]) }
+
+// WriteMem stores a 64-bit value at an 8-aligned address.
+func (m *Machine) WriteMem(addr uint64, v int64) { m.mem[addr&^7] = uint64(v) }
+
+// ReadMemF returns the float64 at an 8-aligned address.
+func (m *Machine) ReadMemF(addr uint64) float64 {
+	return math.Float64frombits(m.mem[addr&^7])
+}
+
+// WriteMemF stores a float64 at an 8-aligned address.
+func (m *Machine) WriteMemF(addr uint64, v float64) {
+	m.mem[addr&^7] = math.Float64bits(v)
+}
+
+// inst returns the instruction at the current PC.
+func (m *Machine) inst() (isa.Inst, error) {
+	idx := (m.PC - m.prog.Base) / 4
+	if m.PC < m.prog.Base || idx >= uint64(len(m.prog.Insts)) {
+		return isa.Inst{}, fmt.Errorf("emu: PC %#x outside program", m.PC)
+	}
+	return m.prog.Insts[idx], nil
+}
+
+// rdInt reads an integer register (r0 is hard zero).
+func (m *Machine) rdInt(r isa.Reg) int64 {
+	if r.Index() == isa.RegZero {
+		return 0
+	}
+	return m.IntRegs[r.Index()]
+}
+
+// wrInt writes an integer register (writes to r0 are dropped).
+func (m *Machine) wrInt(r isa.Reg, v int64) {
+	if r.Index() != isa.RegZero {
+		m.IntRegs[r.Index()] = v
+	}
+}
+
+// Next implements trace.Source: it executes one instruction and returns
+// its dynamic record. ok is false once the program halts or faults.
+func (m *Machine) Next() (trace.DynInst, bool) {
+	if m.halted {
+		return trace.DynInst{}, false
+	}
+	if m.MaxInsts > 0 && m.Executed >= m.MaxInsts {
+		m.halted = true
+		m.limitHit = true
+		return trace.DynInst{}, false
+	}
+	in, err := m.inst()
+	if err != nil {
+		m.halted = true
+		return trace.DynInst{}, false
+	}
+	d := trace.DynInst{PC: m.PC, Inst: in, Seq: m.seq}
+	m.seq++
+	m.Executed++
+
+	nextPC := m.PC + 4
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpAdd:
+		m.wrInt(in.Dst, m.rdInt(in.Src1)+m.rdInt(in.Src2))
+	case isa.OpAddI:
+		m.wrInt(in.Dst, m.rdInt(in.Src1)+in.Imm)
+	case isa.OpSub:
+		m.wrInt(in.Dst, m.rdInt(in.Src1)-m.rdInt(in.Src2))
+	case isa.OpSubI:
+		m.wrInt(in.Dst, m.rdInt(in.Src1)-in.Imm)
+	case isa.OpAnd:
+		m.wrInt(in.Dst, m.rdInt(in.Src1)&m.rdInt(in.Src2))
+	case isa.OpOr:
+		m.wrInt(in.Dst, m.rdInt(in.Src1)|m.rdInt(in.Src2))
+	case isa.OpXor:
+		m.wrInt(in.Dst, m.rdInt(in.Src1)^m.rdInt(in.Src2))
+	case isa.OpNot:
+		m.wrInt(in.Dst, ^m.rdInt(in.Src1))
+	case isa.OpShl:
+		m.wrInt(in.Dst, m.rdInt(in.Src1)<<uint(m.rdInt(in.Src2)&63))
+	case isa.OpShr:
+		m.wrInt(in.Dst, int64(uint64(m.rdInt(in.Src1))>>uint(m.rdInt(in.Src2)&63)))
+	case isa.OpSar:
+		m.wrInt(in.Dst, m.rdInt(in.Src1)>>uint(m.rdInt(in.Src2)&63))
+	case isa.OpSlt:
+		m.wrInt(in.Dst, b2i(m.rdInt(in.Src1) < m.rdInt(in.Src2)))
+	case isa.OpSltI:
+		m.wrInt(in.Dst, b2i(m.rdInt(in.Src1) < in.Imm))
+	case isa.OpLui:
+		m.wrInt(in.Dst, in.Imm<<16)
+	case isa.OpMov:
+		m.wrInt(in.Dst, m.rdInt(in.Src1))
+	case isa.OpMul:
+		m.wrInt(in.Dst, m.rdInt(in.Src1)*m.rdInt(in.Src2))
+	case isa.OpDiv:
+		if d := m.rdInt(in.Src2); d != 0 {
+			m.wrInt(in.Dst, m.rdInt(in.Src1)/d)
+		} else {
+			m.wrInt(in.Dst, 0)
+		}
+	case isa.OpRem:
+		if d := m.rdInt(in.Src2); d != 0 {
+			m.wrInt(in.Dst, m.rdInt(in.Src1)%d)
+		} else {
+			m.wrInt(in.Dst, 0)
+		}
+
+	case isa.OpFAdd:
+		m.FPRegs[in.Dst.Index()] = m.FPRegs[in.Src1.Index()] + m.FPRegs[in.Src2.Index()]
+	case isa.OpFSub:
+		m.FPRegs[in.Dst.Index()] = m.FPRegs[in.Src1.Index()] - m.FPRegs[in.Src2.Index()]
+	case isa.OpFMul:
+		m.FPRegs[in.Dst.Index()] = m.FPRegs[in.Src1.Index()] * m.FPRegs[in.Src2.Index()]
+	case isa.OpFDiv:
+		m.FPRegs[in.Dst.Index()] = m.FPRegs[in.Src1.Index()] / m.FPRegs[in.Src2.Index()]
+	case isa.OpFNeg:
+		m.FPRegs[in.Dst.Index()] = -m.FPRegs[in.Src1.Index()]
+	case isa.OpFAbs:
+		m.FPRegs[in.Dst.Index()] = math.Abs(m.FPRegs[in.Src1.Index()])
+	case isa.OpFCmpLt:
+		m.FPRegs[in.Dst.Index()] = fb2f(m.FPRegs[in.Src1.Index()] < m.FPRegs[in.Src2.Index()])
+	case isa.OpFCmpEq:
+		m.FPRegs[in.Dst.Index()] = fb2f(m.FPRegs[in.Src1.Index()] == m.FPRegs[in.Src2.Index()])
+	case isa.OpCvtIF:
+		m.FPRegs[in.Dst.Index()] = float64(m.rdInt(in.Src1))
+	case isa.OpCvtFI:
+		m.wrInt(in.Dst, int64(m.FPRegs[in.Src1.Index()]))
+
+	case isa.OpLd:
+		d.EA = uint64(m.rdInt(in.Src1) + in.Imm)
+		m.wrInt(in.Dst, m.ReadMem(d.EA))
+	case isa.OpLdF:
+		d.EA = uint64(m.rdInt(in.Src1) + in.Imm)
+		m.FPRegs[in.Dst.Index()] = m.ReadMemF(d.EA)
+	case isa.OpSt:
+		d.EA = uint64(m.rdInt(in.Src2) + in.Imm)
+		m.WriteMem(d.EA, m.rdInt(in.Src1))
+	case isa.OpStF:
+		d.EA = uint64(m.rdInt(in.Src2) + in.Imm)
+		m.WriteMemF(d.EA, m.FPRegs[in.Src1.Index()])
+
+	case isa.OpBeq:
+		d.Taken = m.rdInt(in.Src1) == m.rdInt(in.Src2)
+	case isa.OpBne:
+		d.Taken = m.rdInt(in.Src1) != m.rdInt(in.Src2)
+	case isa.OpBlt:
+		d.Taken = m.rdInt(in.Src1) < m.rdInt(in.Src2)
+	case isa.OpBge:
+		d.Taken = m.rdInt(in.Src1) >= m.rdInt(in.Src2)
+	case isa.OpJmp:
+		d.Taken = true
+	case isa.OpCall:
+		d.Taken = true
+		m.wrInt(in.Dst, int64(m.PC+4))
+	case isa.OpRet:
+		d.Taken = true
+		nextPC = uint64(m.rdInt(in.Src1))
+	case isa.OpHalt:
+		m.halted = true
+	}
+
+	// Resolve the control transfer.
+	switch in.Class() {
+	case isa.ClassBranch:
+		if d.Taken {
+			d.Target = uint64(in.Imm)
+			nextPC = d.Target
+		} else {
+			d.Target = m.PC + 4
+		}
+	case isa.ClassJump:
+		if in.Op == isa.OpRet {
+			d.Target = nextPC
+		} else {
+			d.Target = uint64(in.Imm)
+			nextPC = d.Target
+		}
+	}
+	m.PC = nextPC
+	return d, true
+}
+
+// Run executes the whole program functionally (without the pipeline) and
+// returns the dynamic instruction count.
+func (m *Machine) Run() (uint64, error) {
+	for {
+		if _, ok := m.Next(); !ok {
+			break
+		}
+	}
+	if m.limitHit {
+		return m.Executed, fmt.Errorf("emu: instruction limit %d reached before halt", m.MaxInsts)
+	}
+	if !m.halted {
+		return m.Executed, fmt.Errorf("emu: program did not halt")
+	}
+	return m.Executed, nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func fb2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

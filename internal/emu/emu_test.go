@@ -1,0 +1,287 @@
+package emu
+
+import (
+	"testing"
+
+	"dcg/internal/config"
+	"dcg/internal/cpu"
+	"dcg/internal/isa"
+	"dcg/internal/trace"
+)
+
+func TestSumLoop(t *testing.T) {
+	// Sum 1..100 into r2.
+	m := MustAssemble("sum", `
+    addi r1, r0, 100
+    addi r2, r0, 0
+loop:
+    add  r2, r2, r1
+    subi r1, r1, 1
+    bne  r1, r0, loop
+    halt
+`)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.IntRegs[2]; got != 5050 {
+		t.Fatalf("sum = %d, want 5050", got)
+	}
+}
+
+func TestFibonacci(t *testing.T) {
+	m := MustAssemble("fib", `
+    addi r1, r0, 0    ; fib(0)
+    addi r2, r0, 1    ; fib(1)
+    addi r3, r0, 20   ; count
+loop:
+    add  r4, r1, r2
+    mov  r1, r2
+    mov  r2, r4
+    subi r3, r3, 1
+    bne  r3, r0, loop
+    halt
+`)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.IntRegs[2]; got != 10946 { // fib(21)
+		t.Fatalf("fib = %d, want 10946", got)
+	}
+}
+
+func TestMemoryCopy(t *testing.T) {
+	m := MustAssemble("memcpy", `
+    lui  r10, 1        ; src = 0x10000
+    lui  r11, 2        ; dst = 0x20000
+    addi r1, r0, 8     ; words
+loop:
+    ld   r2, r10, 0
+    st   r2, r11, 0
+    addi r10, r10, 8
+    addi r11, r11, 8
+    subi r1, r1, 1
+    bne  r1, r0, loop
+    halt
+`)
+	for i := 0; i < 8; i++ {
+		m.WriteMem(0x10000+uint64(i)*8, int64(i*i))
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if got := m.ReadMem(0x20000 + uint64(i)*8); got != int64(i*i) {
+			t.Fatalf("dst[%d] = %d, want %d", i, got, i*i)
+		}
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	m := MustAssemble("call", `
+    addi r1, r0, 7
+    call double
+    call double
+    halt
+double:
+    add r1, r1, r1
+    ret r31
+`)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.IntRegs[1]; got != 28 {
+		t.Fatalf("r1 = %d, want 28", got)
+	}
+}
+
+func TestFPArithmetic(t *testing.T) {
+	m := MustAssemble("fp", `
+    cvtif f1, r1
+    cvtif f2, r2
+    fadd  f3, f1, f2
+    fmul  f4, f3, f3
+    fdiv  f5, f4, f2
+    cvtfi r3, f5
+    halt
+`)
+	m.IntRegs[1] = 3
+	m.IntRegs[2] = 4
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// ((3+4)^2)/4 = 12.25 -> 12
+	if got := m.IntRegs[3]; got != 12 {
+		t.Fatalf("r3 = %d, want 12", got)
+	}
+	if m.FPRegs[4] != 49 {
+		t.Fatalf("f4 = %v, want 49", m.FPRegs[4])
+	}
+}
+
+func TestZeroRegisterHardwired(t *testing.T) {
+	m := MustAssemble("zero", `
+    addi r0, r0, 99
+    add  r1, r0, r0
+    halt
+`)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.IntRegs[0] != 0 || m.IntRegs[1] != 0 {
+		t.Fatalf("zero register written: r0=%d r1=%d", m.IntRegs[0], m.IntRegs[1])
+	}
+}
+
+func TestDivideByZeroIsDefined(t *testing.T) {
+	m := MustAssemble("div0", `
+    addi r1, r0, 5
+    div  r2, r1, r0
+    rem  r3, r1, r0
+    halt
+`)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.IntRegs[2] != 0 || m.IntRegs[3] != 0 {
+		t.Fatal("divide by zero not defined as 0")
+	}
+}
+
+func TestMaxInstsGuard(t *testing.T) {
+	m := MustAssemble("spin", `
+loop:
+    jmp loop
+`)
+	m.MaxInsts = 1000
+	if _, err := m.Run(); err == nil {
+		t.Fatal("runaway program not caught")
+	}
+	if m.Executed != 1000 {
+		t.Fatalf("executed %d, want 1000", m.Executed)
+	}
+}
+
+func TestStreamIsCoherentPath(t *testing.T) {
+	m := MustAssemble("path", `
+    addi r1, r0, 50
+loop:
+    subi r1, r1, 1
+    bne  r1, r0, loop
+    call fn
+    halt
+fn:
+    ret r31
+`)
+	var prev trace.DynInst
+	first := true
+	for {
+		d, ok := m.Next()
+		if !ok {
+			break
+		}
+		if !first && d.PC != prev.NextPC() {
+			t.Fatalf("discontinuity: %v -> %#x", prev, d.PC)
+		}
+		prev, first = d, false
+	}
+	if !m.Halted() {
+		t.Fatal("program did not halt")
+	}
+}
+
+// TestPipelineMatchesEmulator runs the same program functionally and
+// through the cycle-level pipeline and checks the pipeline commits exactly
+// the dynamically executed instruction count — the oracle-stream contract.
+func TestPipelineMatchesEmulator(t *testing.T) {
+	src := `
+    addi r1, r0, 200
+    addi r2, r0, 0
+loop:
+    add  r2, r2, r1
+    mul  r3, r1, r1
+    st   r3, r2, 0
+    ld   r4, r2, 0
+    subi r1, r1, 1
+    bne  r1, r0, loop
+    halt
+`
+	funcRun := MustAssemble("prog", src)
+	n, err := funcRun.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pipeRun := MustAssemble("prog", src)
+	c, err := cpu.New(config.Default(), pipeRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Stats().Committed; got != n {
+		t.Fatalf("pipeline committed %d, emulator executed %d", got, n)
+	}
+	if ipc := c.Stats().IPC(); ipc <= 0.2 || ipc > 8 {
+		t.Errorf("pipeline IPC %.2f implausible for this loop", ipc)
+	}
+}
+
+func TestShiftOps(t *testing.T) {
+	m := MustAssemble("shift", `
+    addi r1, r0, 1
+    addi r2, r0, 4
+    shl  r3, r1, r2
+    shr  r4, r3, r2
+    addi r5, r0, -16
+    sar  r6, r5, r2
+    halt
+`)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.IntRegs[3] != 16 || m.IntRegs[4] != 1 || m.IntRegs[6] != -1 {
+		t.Fatalf("shifts: %d %d %d", m.IntRegs[3], m.IntRegs[4], m.IntRegs[6])
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	m := MustAssemble("br", `
+    addi r1, r0, 3
+    addi r2, r0, 5
+    blt  r1, r2, a
+    addi r9, r0, 1  ; skipped
+a:  bge  r2, r1, b
+    addi r9, r0, 2  ; skipped
+b:  beq  r9, r0, c
+    addi r9, r0, 3  ; skipped
+c:  halt
+`)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.IntRegs[9] != 0 {
+		t.Fatalf("branches fell through: r9=%d", m.IntRegs[9])
+	}
+}
+
+func TestLoadsCarryEA(t *testing.T) {
+	m := MustAssemble("ea", `
+    lui r1, 3
+    ld  r2, r1, 16
+    halt
+`)
+	var seen uint64
+	for {
+		d, ok := m.Next()
+		if !ok {
+			break
+		}
+		if d.Inst.Op == isa.OpLd {
+			seen = d.EA
+		}
+	}
+	if seen != 3<<16+16 {
+		t.Fatalf("load EA = %#x", seen)
+	}
+}

@@ -1,0 +1,402 @@
+// Ablation studies for the design choices DESIGN.md calls out. These go
+// beyond the paper's own evaluation: they quantify what each of DCG's
+// mechanisms contributes, what the section 3.1 sequential-priority policy
+// buys, how sensitive PLB is to its window size, what the section 3.3
+// store policy costs, how DCG scales with machine width, how much of the
+// opportunity comes from branch-misprediction stalls, and how leakage
+// (which the paper assumes away) erodes the savings.
+package experiments
+
+import (
+	"fmt"
+
+	"dcg/internal/config"
+	"dcg/internal/core"
+	"dcg/internal/cpu"
+	"dcg/internal/gating"
+	"dcg/internal/stats"
+)
+
+// ablate runs every benchmark on a machine with a scheme factory and
+// returns the mean saving and mean IPC-loss versus the ungated baseline on
+// the same machine.
+func (r *Runner) ablate(machine config.Config, mk func() gating.Scheme) (saving, perfLoss float64, err error) {
+	var savings, losses []float64
+	for _, b := range r.opts.Benchmarks {
+		sim := core.NewSimulator(machine)
+		if r.opts.Warmup > 0 {
+			sim.Warmup = r.opts.Warmup
+		}
+		base, err := sim.RunBenchmark(b, core.SchemeNone, r.opts.Insts)
+		if err != nil {
+			return 0, 0, err
+		}
+		res, err := sim.RunBenchmarkScheme(b, mk(), r.opts.Insts)
+		if err != nil {
+			return 0, 0, err
+		}
+		savings = append(savings, res.Saving)
+		if base.IPC > 0 {
+			losses = append(losses, 1-res.IPC/base.IPC)
+		}
+	}
+	return stats.Mean(savings), stats.Mean(losses), nil
+}
+
+// AblationRow is one configuration point of an ablation sweep.
+type AblationRow struct {
+	Label    string
+	Saving   float64
+	PerfLoss float64
+	Extra    string // sweep-specific annotation
+}
+
+// Ablation is a generic sweep result.
+type Ablation struct {
+	Title string
+	Rows  []AblationRow
+	Note  string
+}
+
+// Table renders the ablation.
+func (a *Ablation) Table() *stats.Table {
+	t := stats.NewTable(a.Title, "configuration", "saving %", "perf loss %", "notes")
+	for _, r := range a.Rows {
+		t.AddRow(r.Label,
+			fmt.Sprintf("%.1f", 100*r.Saving),
+			fmt.Sprintf("%.2f", 100*r.PerfLoss),
+			r.Extra)
+	}
+	return t
+}
+
+// DCGContribution builds DCG up one gated structure class at a time
+// (execution units -> +latches -> +D-cache decoders -> +result buses),
+// showing each mechanism's contribution to the total saving — the
+// decomposition sections 5.2-5.5 imply.
+func (r *Runner) DCGContribution() (*Ablation, error) {
+	machine := config.Default()
+	steps := []struct {
+		label string
+		opts  gating.DCGOptions
+	}{
+		{"units only (§3.1)", gating.DCGOptions{GateUnits: true}},
+		{"+ latches (§3.2)", gating.DCGOptions{GateUnits: true, GateLatches: true}},
+		{"+ d-cache decoders (§3.3)", gating.DCGOptions{GateUnits: true, GateLatches: true, GateDCache: true}},
+		{"+ result buses (§3.4) = full DCG", gating.AllDCGOptions()},
+	}
+	out := &Ablation{
+		Title: "Ablation: DCG mechanism contribution (cumulative)",
+		Note:  "every step adds savings and none costs performance — DCG's savings come from all components, not any one (paper §5.1)",
+	}
+	for _, step := range steps {
+		opts := step.opts
+		save, loss, err := r.ablate(machine, func() gating.Scheme {
+			return gating.NewDCGPartial(machine, opts)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, AblationRow{Label: step.label, Saving: save, PerfLoss: loss})
+	}
+	return out, nil
+}
+
+// SelectionPolicy compares the paper's sequential-priority execution-unit
+// selection against round-robin: savings are essentially equal, but the
+// clock-gate control signals toggle far more under round-robin — the
+// control-power/di-dt concern section 3.1's policy addresses.
+func (r *Runner) SelectionPolicy() (*Ablation, error) {
+	out := &Ablation{
+		Title: "Ablation: FU selection policy (§3.1)",
+		Note:  "sequential priority keeps gated units gated; round-robin spreads work and toggles the clock-gate controls",
+	}
+	for _, policy := range []config.FUSelection{config.SelectSequential, config.SelectRoundRobin} {
+		machine := config.Default()
+		machine.FUSelection = policy
+		var toggleSum, cycleSum float64
+		var schemes []*gating.DCG
+		save, loss, err := r.ablate(machine, func() gating.Scheme {
+			d := gating.NewDCG(machine)
+			schemes = append(schemes, d)
+			return d
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range schemes {
+			st := d.Stats()
+			toggleSum += float64(st.ControlToggles)
+			cycleSum += float64(st.Cycles)
+		}
+		toggles := 0.0
+		if cycleSum > 0 {
+			toggles = toggleSum / cycleSum
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Label:    policy.String(),
+			Saving:   save,
+			PerfLoss: loss,
+			Extra:    fmt.Sprintf("%.3f control toggles/cycle", toggles),
+		})
+	}
+	return out, nil
+}
+
+// StorePolicy compares section 3.3's two store-handling options: advance
+// knowledge from the LSQ versus delaying each store one cycle to set up
+// the clock-gate control. The paper argues the delay costs virtually
+// nothing because stores produce no values.
+func (r *Runner) StorePolicy() (*Ablation, error) {
+	out := &Ablation{
+		Title: "Ablation: store clock-gate set-up policy (§3.3)",
+		Note:  "paper: delaying stores one cycle causes virtually no performance loss",
+	}
+	for _, policy := range []config.StoreDelay{config.StoreAdvanceKnowledge, config.StoreOneCycleDelay} {
+		machine := config.Default()
+		machine.StoreDelayPolicy = policy
+		save, loss, err := r.ablate(machine, func() gating.Scheme {
+			return gating.NewDCG(machine)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, AblationRow{Label: policy.String(), Saving: save, PerfLoss: loss})
+	}
+	return out, nil
+}
+
+// PLBWindow sweeps PLB-ext's sampling window (the paper uses 256 cycles,
+// following [1]): small windows react faster but thrash; large windows
+// miss phases.
+func (r *Runner) PLBWindow() (*Ablation, error) {
+	out := &Ablation{
+		Title: "Ablation: PLB-ext sampling window",
+		Note:  "the paper follows [1] in using 256-cycle windows",
+	}
+	machine := config.Default()
+	for _, window := range []int{64, 256, 1024, 4096} {
+		params := gating.DefaultPLBParams()
+		params.Window = window
+		var plbs []*gating.PLB
+		save, loss, err := r.ablate(machine, func() gating.Scheme {
+			p := gating.NewPLB(machine, params, true)
+			plbs = append(plbs, p)
+			return p
+		})
+		if err != nil {
+			return nil, err
+		}
+		var trans uint64
+		for _, p := range plbs {
+			trans += p.Transitions()
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Label:    fmt.Sprintf("window=%d", window),
+			Saving:   save,
+			PerfLoss: loss,
+			Extra:    fmt.Sprintf("%d mode transitions", trans),
+		})
+	}
+	return out, nil
+}
+
+// Leakage erodes the paper's zero-leakage assumption: a gated structure
+// still burns the given fraction of its dynamic power.
+func (r *Runner) Leakage() (*Ablation, error) {
+	out := &Ablation{
+		Title: "Ablation: leakage in gated structures",
+		Note:  "the paper assumes zero leakage (§4.2); deep-submicron leakage erodes gating returns proportionally",
+	}
+	machine := config.Default()
+	for _, lk := range []float64{0, 0.05, 0.10, 0.20, 0.40} {
+		var savings, losses []float64
+		for _, b := range r.opts.Benchmarks {
+			sim := core.NewSimulator(machine)
+			if r.opts.Warmup > 0 {
+				sim.Warmup = r.opts.Warmup
+			}
+			sim.LeakageFrac = lk
+			res, err := sim.RunBenchmark(b, core.SchemeDCG, r.opts.Insts)
+			if err != nil {
+				return nil, err
+			}
+			savings = append(savings, res.Saving)
+			losses = append(losses, 0)
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Label:  fmt.Sprintf("leakage=%.0f%%", 100*lk),
+			Saving: stats.Mean(savings),
+		})
+	}
+	return out, nil
+}
+
+// IssueWidth sweeps machine width: wider machines have more gatable slots
+// idle at a given program ILP, so DCG's savings grow with width.
+func (r *Runner) IssueWidth() (*Ablation, error) {
+	out := &Ablation{
+		Title: "Ablation: machine issue width under DCG",
+		Note:  "wider machines idle more of their gatable resources at fixed program ILP",
+	}
+	for _, width := range []int{4, 8, 16} {
+		machine := config.Default()
+		machine.IssueWidth = width
+		save, loss, err := r.ablate(machine, func() gating.Scheme {
+			return gating.NewDCG(machine)
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, AblationRow{
+			Label:    fmt.Sprintf("%d-wide", width),
+			Saving:   save,
+			PerfLoss: loss,
+		})
+	}
+	return out, nil
+}
+
+// BranchOracle compares the real 2-level predictor against a perfect
+// front end, quantifying how much of DCG's opportunity comes from
+// misprediction stalls (versus intrinsic ILP limits and cache misses).
+func (r *Runner) BranchOracle() (*Ablation, error) {
+	out := &Ablation{
+		Title: "Ablation: branch prediction vs DCG opportunity",
+		Note:  "a perfect front end removes misprediction bubbles, raising utilisation and shrinking the gating opportunity",
+	}
+	for _, perfect := range []bool{false, true} {
+		machine := config.Default()
+		machine.PerfectBPred = perfect
+		save, _, err := r.ablate(machine, func() gating.Scheme {
+			return gating.NewDCG(machine)
+		})
+		if err != nil {
+			return nil, err
+		}
+		label := "2-level predictor (Table 1)"
+		if perfect {
+			label = "perfect prediction (oracle)"
+		}
+		out.Rows = append(out.Rows, AblationRow{Label: label, Saving: save})
+	}
+	return out, nil
+}
+
+// Headroom compares DCG against the Oracle upper bound (DCG + issue-queue
+// gating per [6] + oracle-gated front-end latches), quantifying how much
+// of the gatable-class power DCG's implementable signals already capture
+// and what the paper's section 2.2 exclusions cost.
+func (r *Runner) Headroom() (*Ablation, error) {
+	machine := config.Default()
+	out := &Ablation{
+		Title: "Extension: DCG vs oracle gating headroom",
+		Note:  "oracle adds issue-queue gating ([6], deferred by the paper) and front-end latch gating that needs unavailable advance knowledge",
+	}
+	save, loss, err := r.ablate(machine, func() gating.Scheme { return gating.NewDCG(machine) })
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, AblationRow{Label: "DCG (the paper)", Saving: save, PerfLoss: loss})
+
+	save, loss, err = r.ablate(machine, func() gating.Scheme { return gating.NewOracle(machine) })
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, AblationRow{Label: "oracle (DCG + [6] + front-end)", Saving: save, PerfLoss: loss})
+	return out, nil
+}
+
+// windowRecorder wraps the baseline scheme and records per-window issue
+// statistics, from which a perfect predictor's mode choices are derived.
+type windowRecorder struct {
+	gating.Scheme
+	window  int
+	cyc     int
+	iss, fp int
+	issPerW []float64
+	fpPerW  []float64
+}
+
+func (w *windowRecorder) Limits(cycle uint64, fb cpu.CycleFeedback) cpu.Limits {
+	w.iss += fb.Issued
+	w.fp += fb.FPIssued
+	w.cyc++
+	if w.cyc >= w.window {
+		w.issPerW = append(w.issPerW, float64(w.iss)/float64(w.window))
+		w.fpPerW = append(w.fpPerW, float64(w.fp)/float64(w.window))
+		w.cyc, w.iss, w.fp = 0, 0, 0
+	}
+	return w.Scheme.Limits(cycle, fb)
+}
+
+// PredictionVsGranularity decomposes the DCG-over-PLB advantage into the
+// paper's two claimed causes: (1) PLB's prediction error, isolated by
+// giving PLB a perfect per-window mode schedule (derived from the
+// baseline run's own window statistics), and (2) PLB's coarse circuit and
+// time granularity, which remains even under perfect prediction — the
+// residual gap to DCG.
+func (r *Runner) PredictionVsGranularity() (*Ablation, error) {
+	machine := config.Default()
+	out := &Ablation{
+		Title: "Extension: PLB prediction error vs granularity (paper §1 advantages 1 & 2)",
+		Note:  "oracle-PLB removes prediction error; its remaining gap to DCG is pure granularity",
+	}
+
+	// Regular predictive PLB-ext.
+	save, loss, err := r.ablate(machine, func() gating.Scheme {
+		return gating.NewPLB(machine, gating.DefaultPLBParams(), true)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, AblationRow{Label: "PLB-ext (predictive, the paper's)", Saving: save, PerfLoss: loss})
+
+	// Oracle-PLB: per benchmark, record baseline window IPCs, derive the
+	// perfect schedule, rerun.
+	var savings, losses []float64
+	for _, b := range r.opts.Benchmarks {
+		params := gating.DefaultPLBParams()
+		sim := core.NewSimulator(machine)
+		if r.opts.Warmup > 0 {
+			sim.Warmup = r.opts.Warmup
+		}
+		rec := &windowRecorder{Scheme: gating.NewNone(machine), window: params.Window}
+		base, err := sim.RunBenchmarkScheme(b, rec, r.opts.Insts)
+		if err != nil {
+			return nil, err
+		}
+		probe := gating.NewPLB(machine, params, true)
+		modes := make([]int, len(rec.issPerW))
+		for i := range modes {
+			modes[i] = probe.TargetMode(rec.issPerW[i], rec.fpPerW[i])
+		}
+		oracle := gating.NewPLB(machine, params, true)
+		oracle.SetOracleSchedule(modes)
+		res, err := sim.RunBenchmarkScheme(b, oracle, r.opts.Insts)
+		if err != nil {
+			return nil, err
+		}
+		savings = append(savings, res.Saving)
+		if base.IPC > 0 {
+			losses = append(losses, 1-res.IPC/base.IPC)
+		}
+	}
+	out.Rows = append(out.Rows, AblationRow{
+		Label:    "PLB-ext-oracle (perfect per-window prediction)",
+		Saving:   stats.Mean(savings),
+		PerfLoss: stats.Mean(losses),
+		Extra:    "gap to row 1 = prediction error",
+	})
+
+	// DCG for the residual.
+	save, loss, err = r.ablate(machine, func() gating.Scheme { return gating.NewDCG(machine) })
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, AblationRow{
+		Label: "DCG", Saving: save, PerfLoss: loss,
+		Extra: "gap to row 2 = granularity",
+	})
+	return out, nil
+}

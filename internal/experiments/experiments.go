@@ -1,0 +1,555 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (section 5): the headline power and power-delay comparisons of
+// DCG against PLB-orig and PLB-ext (Figures 10-11), the per-structure
+// savings (Figures 12-16), the deep-pipeline study (Figure 17), the
+// integer-ALU-count sweep of section 4.4, and the utilisation statistics
+// quoted throughout section 5.
+//
+// Each experiment returns both structured data and a rendered table whose
+// rows mirror the paper's plots, together with the paper's reported values
+// so EXPERIMENTS.md can record paper-vs-measured side by side.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dcg/internal/config"
+	"dcg/internal/core"
+	"dcg/internal/power"
+	"dcg/internal/stats"
+	"dcg/internal/workload"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// Insts is the measured dynamic instruction count per benchmark.
+	Insts uint64
+
+	// Warmup is the functional warm-up length (0 = simulator default).
+	Warmup uint64
+
+	// Benchmarks restricts the suite (nil = all 16).
+	Benchmarks []string
+}
+
+// DefaultOptions returns the settings used for the recorded results.
+func DefaultOptions() Options {
+	return Options{Insts: 300_000}
+}
+
+// runKey identifies a memoised simulation run.
+type runKey struct {
+	bench  string
+	scheme core.SchemeKind
+	deep   bool
+	intALU int
+}
+
+// Runner executes and memoises simulation runs shared across experiments.
+// Uncached runs are executed in parallel (each simulation is independent
+// and fully deterministic, so parallel order cannot change any result).
+type Runner struct {
+	opts Options
+
+	mu    sync.Mutex
+	cache map[runKey]*core.Result
+}
+
+// NewRunner builds a Runner.
+func NewRunner(opts Options) *Runner {
+	if opts.Insts == 0 {
+		opts.Insts = DefaultOptions().Insts
+	}
+	if opts.Benchmarks == nil {
+		opts.Benchmarks = workload.Names()
+	}
+	return &Runner{opts: opts, cache: make(map[runKey]*core.Result)}
+}
+
+// Benchmarks returns the active benchmark list.
+func (r *Runner) Benchmarks() []string { return r.opts.Benchmarks }
+
+func (r *Runner) machine(deep bool, intALU int) config.Config {
+	m := config.Default()
+	if deep {
+		m = config.Deep()
+	}
+	if intALU > 0 {
+		m.FU.IntALU = intALU
+	}
+	return m
+}
+
+// result runs (or recalls) one simulation.
+func (r *Runner) result(bench string, scheme core.SchemeKind, deep bool, intALU int) (*core.Result, error) {
+	key := runKey{bench, scheme, deep, intALU}
+	r.mu.Lock()
+	res, ok := r.cache[key]
+	r.mu.Unlock()
+	if ok {
+		return res, nil
+	}
+	sim := core.NewSimulator(r.machine(deep, intALU))
+	if r.opts.Warmup > 0 {
+		sim.Warmup = r.opts.Warmup
+	}
+	res, err := sim.RunBenchmark(bench, scheme, r.opts.Insts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s/%v: %w", bench, scheme, err)
+	}
+	r.mu.Lock()
+	r.cache[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// prefetch simulates any uncached keys concurrently (bounded by the CPU
+// count). Results land in the memo cache; errors surface on the first
+// sequential use.
+func (r *Runner) prefetch(keys []runKey) {
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for _, key := range keys {
+		r.mu.Lock()
+		_, ok := r.cache[key]
+		r.mu.Unlock()
+		if ok {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(k runKey) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			_, _ = r.result(k.bench, k.scheme, k.deep, k.intALU)
+		}(key)
+	}
+	wg.Wait()
+}
+
+// suiteMeans computes the integer-suite and FP-suite means of a metric.
+func suiteMeans(benches []string, metric map[string]float64) (intMean, fpMean float64) {
+	var ints, fps []float64
+	for _, b := range benches {
+		p, ok := workload.ByName(b)
+		if !ok {
+			continue
+		}
+		if p.Class == workload.ClassInt {
+			ints = append(ints, metric[b])
+		} else {
+			fps = append(fps, metric[b])
+		}
+	}
+	return stats.Mean(ints), stats.Mean(fps)
+}
+
+// SchemeSeries is one scheme's per-benchmark series plus suite means.
+type SchemeSeries struct {
+	Scheme  string
+	Values  map[string]float64 // benchmark -> value (fraction)
+	IntMean float64
+	FPMean  float64
+}
+
+// Comparison is the generic result shape of the per-figure experiments:
+// one or more per-benchmark series.
+type Comparison struct {
+	ID        string // e.g. "Figure 10"
+	Title     string
+	Metric    string // e.g. "total power saving (%)"
+	Benches   []string
+	Series    []SchemeSeries
+	PaperNote string // the paper's reported numbers for EXPERIMENTS.md
+}
+
+// Table renders the comparison in the paper's row layout.
+func (c *Comparison) Table() *stats.Table {
+	headers := append([]string{"bench"}, make([]string, 0, len(c.Series))...)
+	for _, s := range c.Series {
+		headers = append(headers, s.Scheme)
+	}
+	t := stats.NewTable(fmt.Sprintf("%s: %s", c.ID, c.Metric), headers...)
+	for _, b := range c.Benches {
+		row := []string{b}
+		for _, s := range c.Series {
+			row = append(row, fmt.Sprintf("%.1f", 100*s.Values[b]))
+		}
+		t.AddRow(row...)
+	}
+	intRow := []string{"int-avg"}
+	fpRow := []string{"fp-avg"}
+	for _, s := range c.Series {
+		intRow = append(intRow, fmt.Sprintf("%.1f", 100*s.IntMean))
+		fpRow = append(fpRow, fmt.Sprintf("%.1f", 100*s.FPMean))
+	}
+	t.AddRow(intRow...)
+	t.AddRow(fpRow...)
+	return t
+}
+
+// makeSeries assembles a SchemeSeries from per-benchmark values.
+func (r *Runner) makeSeries(scheme string, vals map[string]float64) SchemeSeries {
+	intMean, fpMean := suiteMeans(r.opts.Benchmarks, vals)
+	return SchemeSeries{Scheme: scheme, Values: vals, IntMean: intMean, FPMean: fpMean}
+}
+
+// compareSchemes evaluates metric over the benchmarks for each scheme.
+func (r *Runner) compareSchemes(schemes []core.SchemeKind,
+	metric func(res, base *core.Result) float64) ([]SchemeSeries, error) {
+	var keys []runKey
+	for _, b := range r.opts.Benchmarks {
+		keys = append(keys, runKey{b, core.SchemeNone, false, 0})
+		for _, scheme := range schemes {
+			keys = append(keys, runKey{b, scheme, false, 0})
+		}
+	}
+	r.prefetch(keys)
+	var out []SchemeSeries
+	for _, scheme := range schemes {
+		vals := make(map[string]float64, len(r.opts.Benchmarks))
+		for _, b := range r.opts.Benchmarks {
+			base, err := r.result(b, core.SchemeNone, false, 0)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.result(b, scheme, false, 0)
+			if err != nil {
+				return nil, err
+			}
+			vals[b] = metric(res, base)
+		}
+		out = append(out, r.makeSeries(scheme.String(), vals))
+	}
+	return out, nil
+}
+
+var gatingSchemes = []core.SchemeKind{core.SchemeDCG, core.SchemePLBOrig, core.SchemePLBExt}
+
+// Fig10 reproduces Figure 10: total processor power savings of DCG,
+// PLB-orig and PLB-ext versus the no-gating baseline.
+func (r *Runner) Fig10() (*Comparison, error) {
+	series, err := r.compareSchemes(gatingSchemes, func(res, _ *core.Result) float64 {
+		return res.Saving
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		ID: "Figure 10", Title: "Total power savings",
+		Metric: "total power saving (%)", Benches: r.opts.Benchmarks, Series: series,
+		PaperNote: "paper: DCG 20.9 int / 18.8 fp; PLB-orig 6.3 / 4.9; PLB-ext 11.0 / 8.7",
+	}, nil
+}
+
+// Fig11 reproduces Figure 11: power-delay savings. Power-delay is average
+// power times execution time; the baseline's delay comes from the ungated
+// run, so PLB's performance loss shows up as reduced power-delay saving.
+func (r *Runner) Fig11() (*Comparison, error) {
+	series, err := r.compareSchemes(gatingSchemes, func(res, base *core.Result) float64 {
+		basePD := base.BaselinePower * float64(base.Cycles)
+		return 1 - res.PowerDelay()/basePD
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		ID: "Figure 11", Title: "Power-delay savings",
+		Metric: "power-delay saving (%)", Benches: r.opts.Benchmarks, Series: series,
+		PaperNote: "paper: DCG = its power saving (no perf loss); PLB-orig 3.5 / 2.0; PLB-ext 8.3 / 5.9; PLB perf loss 2.9%",
+	}, nil
+}
+
+// dcgVsPLBExt is the Figure 12-16 scheme pair.
+var dcgVsPLBExt = []core.SchemeKind{core.SchemeDCG, core.SchemePLBExt}
+
+// Fig12 reproduces Figure 12: integer execution unit power savings.
+func (r *Runner) Fig12() (*Comparison, error) {
+	series, err := r.compareSchemes(dcgVsPLBExt, func(res, _ *core.Result) float64 {
+		return res.ComponentSaving(power.CompIntALU, power.CompIntMult)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		ID: "Figure 12", Title: "Integer unit power savings",
+		Metric: "integer-unit power saving (%)", Benches: r.opts.Benchmarks, Series: series,
+		PaperNote: "paper: DCG ~72.0 avg; PLB-ext ~29.6 avg",
+	}, nil
+}
+
+// Fig13 reproduces Figure 13: FP execution unit power savings.
+func (r *Runner) Fig13() (*Comparison, error) {
+	series, err := r.compareSchemes(dcgVsPLBExt, func(res, _ *core.Result) float64 {
+		return res.ComponentSaving(power.CompFPALU, power.CompFPMult)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		ID: "Figure 13", Title: "FP unit power savings",
+		Metric: "fp-unit power saving (%)", Benches: r.opts.Benchmarks, Series: series,
+		PaperNote: "paper: DCG 77.2 avg on fp suite, ~100 on int suite; PLB-ext 23.0 on fp suite",
+	}, nil
+}
+
+// Fig14 reproduces Figure 14: pipeline latch power savings (including
+// DCG's ungated control-latch overhead, ~1% of latch power).
+func (r *Runner) Fig14() (*Comparison, error) {
+	series, err := r.compareSchemes(dcgVsPLBExt, func(res, _ *core.Result) float64 {
+		return res.LatchSaving()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		ID: "Figure 14", Title: "Pipeline latch power savings",
+		Metric: "latch power saving (%)", Benches: r.opts.Benchmarks, Series: series,
+		PaperNote: "paper: DCG 41.6 avg (mcf/lucas best); PLB-ext 17.6 avg",
+	}, nil
+}
+
+// Fig15 reproduces Figure 15: D-cache power savings (wordline decoders are
+// ~40% of D-cache power; only they are gated).
+func (r *Runner) Fig15() (*Comparison, error) {
+	series, err := r.compareSchemes(dcgVsPLBExt, func(res, _ *core.Result) float64 {
+		return res.DCacheSaving()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		ID: "Figure 15", Title: "D-cache power savings",
+		Metric: "d-cache power saving (%)", Benches: r.opts.Benchmarks, Series: series,
+		PaperNote: "paper: DCG 22.6 avg; PLB-ext 8.1 avg",
+	}, nil
+}
+
+// Fig16 reproduces Figure 16: result bus driver power savings.
+func (r *Runner) Fig16() (*Comparison, error) {
+	series, err := r.compareSchemes(dcgVsPLBExt, func(res, _ *core.Result) float64 {
+		return res.ComponentSaving(power.CompResultBus)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		ID: "Figure 16", Title: "Result bus power savings",
+		Metric: "result-bus power saving (%)", Benches: r.opts.Benchmarks, Series: series,
+		PaperNote: "paper: DCG 59.6 avg; PLB-ext 32.2 avg",
+	}, nil
+}
+
+// Fig17 reproduces Figure 17: DCG total power savings on the 8-stage
+// versus the 20-stage pipeline.
+func (r *Runner) Fig17() (*Comparison, error) {
+	var keys []runKey
+	for _, b := range r.opts.Benchmarks {
+		keys = append(keys, runKey{b, core.SchemeDCG, false, 0}, runKey{b, core.SchemeDCG, true, 0})
+	}
+	r.prefetch(keys)
+	var series []SchemeSeries
+	for _, deep := range []bool{false, true} {
+		vals := make(map[string]float64, len(r.opts.Benchmarks))
+		for _, b := range r.opts.Benchmarks {
+			res, err := r.result(b, core.SchemeDCG, deep, 0)
+			if err != nil {
+				return nil, err
+			}
+			vals[b] = res.Saving
+		}
+		name := "8-stage"
+		if deep {
+			name = "20-stage"
+		}
+		series = append(series, r.makeSeries(name, vals))
+	}
+	return &Comparison{
+		ID: "Figure 17", Title: "DCG on deeper pipelines",
+		Metric: "DCG total power saving (%)", Benches: r.opts.Benchmarks, Series: series,
+		PaperNote: "paper: 19.9 avg at 8 stages vs 24.5 avg at 20 stages",
+	}, nil
+}
+
+// ALUSweepRow is one configuration point of the section 4.4 sweep.
+type ALUSweepRow struct {
+	IntALUs    int
+	MeanIPC    float64
+	RelPerf    float64 // mean IPC relative to the 8-ALU machine
+	WorstRel   float64 // worst single-benchmark relative performance
+	WorstBench string
+}
+
+// ALUSweep reproduces section 4.4: relative performance with 8, 6 and 4
+// integer ALUs (paper: worst case 98.8% with 6 and 92.7% with 4, so 6 is
+// the power/performance-optimal count used everywhere else).
+type ALUSweep struct {
+	Rows      []ALUSweepRow
+	PaperNote string
+}
+
+// Sec44ALUSweep runs the sweep.
+func (r *Runner) Sec44ALUSweep() (*ALUSweep, error) {
+	counts := []int{8, 6, 4}
+	var keys []runKey
+	for _, n := range counts {
+		for _, b := range r.opts.Benchmarks {
+			keys = append(keys, runKey{b, core.SchemeNone, false, n})
+		}
+	}
+	r.prefetch(keys)
+	perBench := make(map[int]map[string]float64)
+	for _, n := range counts {
+		vals := make(map[string]float64)
+		for _, b := range r.opts.Benchmarks {
+			res, err := r.result(b, core.SchemeNone, false, n)
+			if err != nil {
+				return nil, err
+			}
+			vals[b] = res.IPC
+		}
+		perBench[n] = vals
+	}
+	sweep := &ALUSweep{
+		PaperNote: "paper: relative performance 98.8% (worst case) with 6 ALUs, 92.7% with 4",
+	}
+	for _, n := range counts {
+		var ipcs []float64
+		worst, worstBench := 2.0, ""
+		for _, b := range r.opts.Benchmarks {
+			ipcs = append(ipcs, perBench[n][b])
+			rel := perBench[n][b] / perBench[8][b]
+			if rel < worst {
+				worst, worstBench = rel, b
+			}
+		}
+		mean := stats.Mean(ipcs)
+		var base []float64
+		for _, b := range r.opts.Benchmarks {
+			base = append(base, perBench[8][b])
+		}
+		sweep.Rows = append(sweep.Rows, ALUSweepRow{
+			IntALUs:    n,
+			MeanIPC:    mean,
+			RelPerf:    mean / stats.Mean(base),
+			WorstRel:   worst,
+			WorstBench: worstBench,
+		})
+	}
+	return sweep, nil
+}
+
+// Table renders the sweep.
+func (s *ALUSweep) Table() *stats.Table {
+	t := stats.NewTable("Section 4.4: integer ALU count sweep",
+		"int-alus", "mean IPC", "rel perf %", "worst rel %", "worst bench")
+	for _, row := range s.Rows {
+		t.AddRow(fmt.Sprintf("%d", row.IntALUs),
+			fmt.Sprintf("%.3f", row.MeanIPC),
+			fmt.Sprintf("%.1f", 100*row.RelPerf),
+			fmt.Sprintf("%.1f", 100*row.WorstRel),
+			row.WorstBench)
+	}
+	return t
+}
+
+// UtilRow is one benchmark's utilisation summary (section 5.2-5.5).
+type UtilRow struct {
+	Bench string
+	Util  core.Utilization
+	IPC   float64
+}
+
+// UtilReport reproduces the utilisation statistics the paper quotes.
+type UtilReport struct {
+	Rows      []UtilRow
+	PaperNote string
+}
+
+// Utilization measures baseline structure utilisations.
+func (r *Runner) Utilization() (*UtilReport, error) {
+	rep := &UtilReport{
+		PaperNote: "paper: int units ~35% (int) / ~25% (fp); fp units ~23% (fp), ~0 (int); latches ~60%; d-ports ~40%; result bus ~40%",
+	}
+	for _, b := range r.opts.Benchmarks {
+		res, err := r.result(b, core.SchemeNone, false, 0)
+		if err != nil {
+			return nil, err
+		}
+		rep.Rows = append(rep.Rows, UtilRow{Bench: b, Util: res.Util, IPC: res.IPC})
+	}
+	return rep, nil
+}
+
+// Table renders the utilisation report.
+func (u *UtilReport) Table() *stats.Table {
+	t := stats.NewTable("Section 5.2-5.5: baseline structure utilisation",
+		"bench", "IPC", "int-units %", "fp-units %", "latches %", "d-ports %", "result-bus %")
+	for _, row := range u.Rows {
+		t.AddRow(row.Bench,
+			fmt.Sprintf("%.2f", row.IPC),
+			fmt.Sprintf("%.1f", 100*row.Util.IntUnits),
+			fmt.Sprintf("%.1f", 100*row.Util.FPUnits),
+			fmt.Sprintf("%.1f", 100*row.Util.Latches),
+			fmt.Sprintf("%.1f", 100*row.Util.DPorts),
+			fmt.Sprintf("%.1f", 100*row.Util.ResultBus))
+	}
+	return t
+}
+
+// PerfLoss reports each scheme's performance loss versus baseline
+// (the paper: DCG none, PLB 2.9%).
+func (r *Runner) PerfLoss() (*Comparison, error) {
+	series, err := r.compareSchemes(gatingSchemes, func(res, base *core.Result) float64 {
+		if base.IPC == 0 {
+			return 0
+		}
+		return 1 - res.IPC/base.IPC
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		ID: "Performance", Title: "Performance loss vs baseline",
+		Metric: "IPC loss (%)", Benches: r.opts.Benchmarks, Series: series,
+		PaperNote: "paper: DCG virtually 0; PLB 2.9% average",
+	}, nil
+}
+
+// Table1 renders the baseline configuration (the paper's Table 1).
+func Table1() *stats.Table {
+	cfg := config.Default()
+	t := stats.NewTable("Table 1: baseline processor configuration", "parameter", "value")
+	t.AddRow("issue width", fmt.Sprintf("%d-way out-of-order", cfg.IssueWidth))
+	t.AddRow("window", fmt.Sprintf("%d entries", cfg.WindowSize))
+	t.AddRow("load/store queue", fmt.Sprintf("%d entries", cfg.LSQSize))
+	t.AddRow("int ALUs", fmt.Sprintf("%d", cfg.FU.IntALU))
+	t.AddRow("int mult/div", fmt.Sprintf("%d", cfg.FU.IntMult))
+	t.AddRow("fp ALUs", fmt.Sprintf("%d", cfg.FU.FPALU))
+	t.AddRow("fp mult/div", fmt.Sprintf("%d", cfg.FU.FPMult))
+	t.AddRow("branch predictor", fmt.Sprintf("2-level %d+%d entries, %db history",
+		cfg.BPred.L1Entries, cfg.BPred.L2Entries, cfg.BPred.HistoryBits))
+	t.AddRow("BTB", fmt.Sprintf("%d-entry %d-way", cfg.BPred.BTBEntries, cfg.BPred.BTBAssoc))
+	t.AddRow("RAS", fmt.Sprintf("%d entries", cfg.BPred.RASEntries))
+	t.AddRow("mispredict penalty", fmt.Sprintf("%d cycles", cfg.BPred.MispredictPenaly))
+	t.AddRow("L1 I/D", fmt.Sprintf("%dKB %d-way %d-cycle",
+		cfg.DL1.SizeBytes>>10, cfg.DL1.Assoc, cfg.DL1.HitLatency))
+	t.AddRow("L2", fmt.Sprintf("%dMB %d-way %d-cycle",
+		cfg.L2.SizeBytes>>20, cfg.L2.Assoc, cfg.L2.HitLatency))
+	t.AddRow("main memory", fmt.Sprintf("%d-cycle, infinite capacity", cfg.MemLat))
+	return t
+}
+
+// Bars renders the comparison's suite means as an ASCII bar chart (a
+// terminal rendition of the paper's bar figures).
+func (c *Comparison) Bars() string {
+	var rows []stats.BarRow
+	for _, s := range c.Series {
+		rows = append(rows,
+			stats.BarRow{Label: s.Scheme + " int", Value: 100 * s.IntMean},
+			stats.BarRow{Label: s.Scheme + " fp", Value: 100 * s.FPMean})
+	}
+	return stats.Bars(fmt.Sprintf("%s: %s (suite means)", c.ID, c.Metric), rows, 50)
+}

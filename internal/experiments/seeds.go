@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dcg/internal/core"
+	"dcg/internal/stats"
+	"dcg/internal/workload"
+)
+
+// SeedRow is one benchmark's DCG saving across workload-seed variants.
+type SeedRow struct {
+	Bench   string
+	Mean    float64
+	StdDev  float64
+	Min     float64
+	Max     float64
+	Samples int
+}
+
+// SeedReport quantifies how sensitive the reproduced savings are to the
+// synthetic workloads' random seeds — the reproduction's error bars.
+type SeedReport struct {
+	Rows []SeedRow
+	Note string
+}
+
+// Table renders the report.
+func (s *SeedReport) Table() *stats.Table {
+	t := stats.NewTable("Seed sensitivity: DCG total power saving across workload seeds",
+		"bench", "mean %", "stddev pp", "min %", "max %", "seeds")
+	for _, r := range s.Rows {
+		t.AddRow(r.Bench,
+			fmt.Sprintf("%.1f", 100*r.Mean),
+			fmt.Sprintf("%.2f", 100*r.StdDev),
+			fmt.Sprintf("%.1f", 100*r.Min),
+			fmt.Sprintf("%.1f", 100*r.Max),
+			fmt.Sprintf("%d", r.Samples))
+	}
+	return t
+}
+
+// SeedSensitivity reruns each benchmark with k seed variants (regenerating
+// the whole synthetic program, not just its dynamic draws) and reports the
+// spread of DCG's total power saving.
+func (r *Runner) SeedSensitivity(k int) (*SeedReport, error) {
+	if k < 2 {
+		k = 2
+	}
+	rep := &SeedReport{
+		Note: "each seed regenerates the benchmark's static program; small spreads mean the reported figures are not artifacts of one seed",
+	}
+	for _, b := range r.opts.Benchmarks {
+		prof, ok := workload.ByName(b)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown benchmark %q", b)
+		}
+		var savings []float64
+		for i := 0; i < k; i++ {
+			p := prof
+			p.Seed = prof.Seed + uint64(i)*0x9E37
+			gen, err := workload.NewGenerator(p)
+			if err != nil {
+				return nil, err
+			}
+			sim := core.NewSimulator(core.DefaultMachine())
+			if r.opts.Warmup > 0 {
+				sim.Warmup = r.opts.Warmup
+			}
+			res, err := sim.RunStream(gen, core.SchemeDCG, r.opts.Insts)
+			if err != nil {
+				return nil, err
+			}
+			savings = append(savings, res.Saving)
+		}
+		mean := stats.Mean(savings)
+		varsum := 0.0
+		mn, mx := savings[0], savings[0]
+		for _, v := range savings {
+			varsum += (v - mean) * (v - mean)
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		rep.Rows = append(rep.Rows, SeedRow{
+			Bench:   b,
+			Mean:    mean,
+			StdDev:  math.Sqrt(varsum / float64(len(savings))),
+			Min:     mn,
+			Max:     mx,
+			Samples: k,
+		})
+	}
+	return rep, nil
+}

@@ -1,0 +1,303 @@
+package gating
+
+import (
+	"testing"
+
+	"dcg/internal/config"
+	"dcg/internal/cpu"
+)
+
+func TestNoneGatesNothing(t *testing.T) {
+	cfg := config.Default()
+	n := NewNone(cfg)
+	gs := n.Gates(0, &cpu.Usage{})
+	if gs.IntALUMask != mask(cfg.FU.IntALU) || gs.FPALUMask != mask(cfg.FU.FPALU) {
+		t.Error("baseline gated execution units")
+	}
+	if gs.DPortsOn != cfg.DL1.Ports || gs.ResultBusOn != cfg.IssueWidth {
+		t.Error("baseline gated ports/buses")
+	}
+	if gs.IssueQueueFrac != 1 || gs.ControlOverhead {
+		t.Error("baseline issue queue / overhead wrong")
+	}
+	for _, s := range gs.BackLatchSlots {
+		if s != cfg.IssueWidth {
+			t.Error("baseline gated latch slots")
+		}
+	}
+	lim := n.Limits(0, cpu.CycleFeedback{})
+	if lim.IssueWidth != cfg.IssueWidth {
+		t.Error("baseline throttled the machine")
+	}
+}
+
+func TestDCGSchedulesFromGrants(t *testing.T) {
+	cfg := config.Default()
+	d := NewDCG(cfg)
+	// Grant: unit 2 of the int-ALU pool, executing cycles 12..13.
+	d.OnIssue(cpu.IssueEvent{
+		Cycle: 10, FUType: cpu.FUIntALU, FUIdx: 2, FUStart: 12, FULat: 2,
+	})
+	// A load using port at 13, writing back at 18.
+	d.OnIssue(cpu.IssueEvent{
+		Cycle: 10, FUIdx: -1, IsLoad: true, DPortCycle: 13,
+		WritesReg: true, ResultBusCycle: 18,
+	})
+	u := &cpu.Usage{BackLatch: make([]int, cfg.BackEndLatchStages())}
+	check := func(cycle uint64, wantALU uint32, wantPort, wantBus int) {
+		u.Cycle = cycle
+		gs := d.Gates(cycle, u)
+		if gs.IntALUMask != wantALU {
+			t.Errorf("cycle %d: alu mask %#x, want %#x", cycle, gs.IntALUMask, wantALU)
+		}
+		if gs.DPortsOn != wantPort {
+			t.Errorf("cycle %d: ports %d, want %d", cycle, gs.DPortsOn, wantPort)
+		}
+		if gs.ResultBusOn != wantBus {
+			t.Errorf("cycle %d: buses %d, want %d", cycle, gs.ResultBusOn, wantBus)
+		}
+		if !gs.ControlOverhead {
+			t.Error("DCG must charge its control overhead")
+		}
+	}
+	check(11, 0, 0, 0)
+	check(12, 1<<2, 0, 0)
+	check(13, 1<<2, 1, 0)
+	check(14, 0, 0, 0)
+	check(18, 0, 0, 1)
+	check(19, 0, 0, 0) // schedule consumed
+	if d.LeadViolations != 0 {
+		t.Errorf("lead violations = %d", d.LeadViolations)
+	}
+}
+
+func TestDCGDetectsLateGrants(t *testing.T) {
+	d := NewDCG(config.Default())
+	d.OnIssue(cpu.IssueEvent{Cycle: 10, FUType: cpu.FUIntALU, FUIdx: 0, FUStart: 10, FULat: 1})
+	d.OnIssue(cpu.IssueEvent{Cycle: 10, FUIdx: -1, IsStore: true, DPortCycle: 9})
+	d.OnIssue(cpu.IssueEvent{Cycle: 10, FUIdx: -1, WritesReg: true, ResultBusCycle: 10})
+	if d.LeadViolations != 3 {
+		t.Errorf("lead violations = %d, want 3", d.LeadViolations)
+	}
+}
+
+func TestDCGLatchesEchoUsage(t *testing.T) {
+	cfg := config.Default()
+	d := NewDCG(cfg)
+	u := &cpu.Usage{BackLatch: []int{3, 5, 0, 8, 1}}
+	gs := d.Gates(0, u)
+	for i, want := range u.BackLatch {
+		if gs.BackLatchSlots[i] != want {
+			t.Errorf("latch stage %d: %d, want %d", i, gs.BackLatchSlots[i], want)
+		}
+	}
+	if gs.IssueQueueFrac != 1 {
+		t.Error("DCG must not gate the issue queue (prior work [6] covers it)")
+	}
+}
+
+func TestDCGNeverThrottles(t *testing.T) {
+	cfg := config.Default()
+	d := NewDCG(cfg)
+	lim := d.Limits(123, cpu.CycleFeedback{Issued: 0})
+	if lim.IssueWidth != cfg.IssueWidth || lim.IntALU != cfg.FU.IntALU ||
+		lim.DPorts != cfg.DL1.Ports {
+		t.Error("DCG restricted the pipeline; it must be performance-neutral")
+	}
+}
+
+// drivePLB feeds a constant per-cycle issue rate for n windows and
+// returns the PLB's mode afterwards.
+func drivePLB(p *PLB, perCycle, fpPerCycle int, windows int) int {
+	fb := cpu.CycleFeedback{Issued: perCycle, FPIssued: fpPerCycle}
+	for i := 0; i < windows*p.params.Window; i++ {
+		p.Limits(uint64(i), fb)
+	}
+	return p.mode
+}
+
+func TestPLBStepsDownOnLowIPC(t *testing.T) {
+	p := NewPLB(config.Default(), DefaultPLBParams(), false)
+	if got := drivePLB(p, 0, 0, 6); got != Mode4 {
+		t.Errorf("mode after sustained idle = %d, want 4", got)
+	}
+}
+
+func TestPLBStaysWideOnHighIPC(t *testing.T) {
+	p := NewPLB(config.Default(), DefaultPLBParams(), false)
+	if got := drivePLB(p, 6, 0, 6); got != Mode8 {
+		t.Errorf("mode under high IPC = %d, want 8", got)
+	}
+}
+
+func TestPLBHysteresisDelaysStepDown(t *testing.T) {
+	params := DefaultPLBParams()
+	p := NewPLB(config.Default(), params, false)
+	// One low window is not enough with DownHysteresis=2.
+	if got := drivePLB(p, 0, 0, 1); got != Mode8 {
+		t.Errorf("mode after one low window = %d, want 8", got)
+	}
+	if got := drivePLB(p, 0, 0, 1); got != Mode6 {
+		t.Errorf("mode after two low windows = %d, want 6", got)
+	}
+}
+
+func TestPLBStepsUpImmediately(t *testing.T) {
+	p := NewPLB(config.Default(), DefaultPLBParams(), false)
+	drivePLB(p, 0, 0, 8) // down to 4-wide
+	if p.mode != Mode4 {
+		t.Fatalf("setup failed: mode %d", p.mode)
+	}
+	if got := drivePLB(p, 6, 0, 1); got != Mode8 {
+		t.Errorf("mode after one high window = %d, want 8 (immediate step-up)", got)
+	}
+}
+
+func TestPLBFPGuardHoldsSixWide(t *testing.T) {
+	p := NewPLB(config.Default(), DefaultPLBParams(), false)
+	// Low total IPC but significant FP activity: don't drop below 6.
+	if got := drivePLB(p, 1, 1, 8); got != Mode6 {
+		t.Errorf("mode with FP demand = %d, want 6", got)
+	}
+}
+
+func TestPLBLimitsMatchModeTables(t *testing.T) {
+	cfg := config.Default()
+	for _, ext := range []bool{false, true} {
+		p := NewPLB(cfg, DefaultPLBParams(), ext)
+		drivePLB(p, 0, 0, 8) // force 4-wide
+		lim := p.Limits(9999, cpu.CycleFeedback{})
+		if lim.IssueWidth != 4 {
+			t.Errorf("ext=%v: width %d, want 4", ext, lim.IssueWidth)
+		}
+		// Section 4.3 4-wide disable list: 3 int ALUs, 1 int mult/div,
+		// 2 FPUs, 2 FP mult/div.
+		if lim.IntALU != cfg.FU.IntALU-3 || lim.IntMult != cfg.FU.IntMult-1 ||
+			lim.FPALU != cfg.FU.FPALU-2 || lim.FPMult != cfg.FU.FPMult-2 {
+			t.Errorf("ext=%v: 4-wide unit limits %+v", ext, lim)
+		}
+		wantPorts := cfg.DL1.Ports
+		if ext {
+			wantPorts = 1 // PLB-ext halves the D-cache ports in 4-wide mode
+		}
+		if lim.DPorts != wantPorts {
+			t.Errorf("ext=%v: ports %d, want %d", ext, lim.DPorts, wantPorts)
+		}
+	}
+}
+
+func TestPLBOrigGatesOnlyUnitsAndIQ(t *testing.T) {
+	cfg := config.Default()
+	p := NewPLB(cfg, DefaultPLBParams(), false)
+	drivePLB(p, 0, 0, 8) // 4-wide
+	u := &cpu.Usage{BackLatch: make([]int, cfg.BackEndLatchStages())}
+	gs := p.Gates(0, u)
+	if gs.IssueQueueFrac != 0.5 {
+		t.Errorf("IQ frac = %v, want 0.5", gs.IssueQueueFrac)
+	}
+	if gs.DPortsOn != cfg.DL1.Ports || gs.ResultBusOn != cfg.IssueWidth {
+		t.Error("PLB-orig gated ports/buses")
+	}
+	for _, s := range gs.BackLatchSlots {
+		if s != cfg.IssueWidth {
+			t.Error("PLB-orig gated latches")
+		}
+	}
+	if gs.IntALUMask != mask(cfg.FU.IntALU-3) {
+		t.Errorf("PLB-orig alu mask %#x", gs.IntALUMask)
+	}
+}
+
+func TestPLBExtGatesEverything(t *testing.T) {
+	cfg := config.Default()
+	p := NewPLB(cfg, DefaultPLBParams(), true)
+	drivePLB(p, 0, 0, 8) // 4-wide
+	u := &cpu.Usage{BackLatch: make([]int, cfg.BackEndLatchStages())}
+	gs := p.Gates(0, u)
+	if gs.DPortsOn != 1 || gs.ResultBusOn != 4 {
+		t.Errorf("PLB-ext ports/buses = %d/%d", gs.DPortsOn, gs.ResultBusOn)
+	}
+	for _, s := range gs.BackLatchSlots {
+		if s != 4 {
+			t.Errorf("PLB-ext latch slots = %v", gs.BackLatchSlots)
+		}
+	}
+}
+
+func TestPLBDrainAwareness(t *testing.T) {
+	// A structure still in use by in-flight work must stay clocked even
+	// when the mode disables its slice.
+	cfg := config.Default()
+	p := NewPLB(cfg, DefaultPLBParams(), true)
+	drivePLB(p, 0, 0, 8) // 4-wide
+	u := &cpu.Usage{
+		BackLatch:  make([]int, cfg.BackEndLatchStages()),
+		IntALUBusy: 1 << 5, // the highest (disabled) ALU still draining
+		DPortUsed:  2,
+		ResultBus:  7,
+	}
+	u.BackLatch[3] = 6
+	gs := p.Gates(0, u)
+	if gs.IntALUMask&(1<<5) == 0 {
+		t.Error("draining ALU was gated")
+	}
+	if gs.DPortsOn < 2 || gs.ResultBusOn < 7 || gs.BackLatchSlots[3] < 6 {
+		t.Error("draining ports/buses/latches were gated")
+	}
+}
+
+func TestPLBModeAccounting(t *testing.T) {
+	p := NewPLB(config.Default(), DefaultPLBParams(), false)
+	drivePLB(p, 0, 0, 4)
+	mc := p.ModeCycles()
+	var total uint64
+	for _, v := range mc {
+		total += v
+	}
+	if total != uint64(4*p.params.Window) {
+		t.Errorf("mode cycles %v don't sum to elapsed cycles", mc)
+	}
+	if p.Transitions() == 0 {
+		t.Error("no transitions recorded")
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	cfg := config.Default()
+	if NewNone(cfg).Name() != "none" || NewDCG(cfg).Name() != "dcg" {
+		t.Error("scheme names wrong")
+	}
+	if NewPLB(cfg, DefaultPLBParams(), false).Name() != "plb-orig" ||
+		NewPLB(cfg, DefaultPLBParams(), true).Name() != "plb-ext" {
+		t.Error("PLB names wrong")
+	}
+}
+
+func TestOracleExtendsDCG(t *testing.T) {
+	cfg := config.Default()
+	o := NewOracle(cfg)
+	u := &cpu.Usage{
+		BackLatch:       make([]int, cfg.BackEndLatchStages()),
+		WindowOccupancy: 64,
+		FetchCount:      5,
+	}
+	gs := o.Gates(0, u)
+	if gs.IssueQueueFrac != 0.5 {
+		t.Errorf("IQ frac = %v, want 0.5 (64/128 occupied)", gs.IssueQueueFrac)
+	}
+	if gs.FrontLatchSlots == nil || gs.FrontLatchSlots[0] != 5 {
+		t.Errorf("front latch slots = %v", gs.FrontLatchSlots)
+	}
+	// The fetch flow propagates down the front-end stages.
+	u.FetchCount = 2
+	gs = o.Gates(1, u)
+	if gs.FrontLatchSlots[0] != 2 || gs.FrontLatchSlots[1] != 5 {
+		t.Errorf("front latch delay line = %v", gs.FrontLatchSlots)
+	}
+	if o.Name() != "oracle" {
+		t.Error("name wrong")
+	}
+	if o.LeadViolations() != 0 {
+		t.Error("fresh oracle has violations")
+	}
+}

@@ -1,0 +1,555 @@
+// Package kernels is a small library of real programs written in the
+// simulator's assembly language. They exercise the assembler, the
+// functional emulator, and the cycle-level pipeline on genuine control
+// and data flow (loops, calls, recurrences, pointer walks, FP stencils),
+// complementing the synthetic SPEC2000-like profiles.
+//
+// Each kernel carries a self-check: Expected lists architectural register
+// values after a functional run, so both the emulator and any pipeline
+// front-end integration can be validated against ground truth.
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"dcg/internal/emu"
+)
+
+// Kernel is one program plus its architectural ground truth.
+type Kernel struct {
+	Name   string
+	Desc   string
+	Source string
+
+	// Setup prepares machine state (arrays in memory, input registers).
+	Setup func(m *emu.Machine)
+
+	// Expected maps integer register numbers to required final values.
+	Expected map[int]int64
+
+	// Check optionally validates memory state after the run.
+	Check func(m *emu.Machine) error
+}
+
+// Machine builds a ready-to-run machine for the kernel.
+func (k *Kernel) Machine() *emu.Machine {
+	m := emu.MustAssemble(k.Name, k.Source)
+	m.MaxInsts = 50_000_000
+	if k.Setup != nil {
+		k.Setup(m)
+	}
+	return m
+}
+
+// Verify runs the kernel functionally and checks its ground truth,
+// returning the dynamic instruction count.
+func (k *Kernel) Verify() (uint64, error) {
+	m := k.Machine()
+	n, err := m.Run()
+	if err != nil {
+		return n, fmt.Errorf("kernels: %s: %w", k.Name, err)
+	}
+	for reg, want := range k.Expected {
+		if got := m.IntRegs[reg]; got != want {
+			return n, fmt.Errorf("kernels: %s: r%d = %d, want %d", k.Name, reg, got, want)
+		}
+	}
+	if k.Check != nil {
+		if err := k.Check(m); err != nil {
+			return n, fmt.Errorf("kernels: %s: %w", k.Name, err)
+		}
+	}
+	return n, nil
+}
+
+// All returns the kernel library, sorted by name.
+func All() []*Kernel {
+	ks := []*Kernel{sumKernel(), fibKernel(), sieveKernel(), bubbleSortKernel(),
+		chaseKernel(), dotKernel(), stencilKernel(), gcdKernel(),
+		matmulKernel(), hashKernel()}
+	sort.Slice(ks, func(i, j int) bool { return ks[i].Name < ks[j].Name })
+	return ks
+}
+
+// ByName returns one kernel.
+func ByName(name string) (*Kernel, bool) {
+	for _, k := range All() {
+		if k.Name == name {
+			return k, true
+		}
+	}
+	return nil, false
+}
+
+// sumKernel: arithmetic series, the canonical counted loop.
+func sumKernel() *Kernel {
+	return &Kernel{
+		Name: "sum",
+		Desc: "sum of 1..1000 in a counted loop",
+		Source: `
+    addi r1, r0, 1000
+    addi r2, r0, 0
+loop:
+    add  r2, r2, r1
+    subi r1, r1, 1
+    bne  r1, r0, loop
+    halt
+`,
+		Expected: map[int]int64{2: 500500},
+	}
+}
+
+// fibKernel: a loop-carried recurrence (serial dependence chain).
+func fibKernel() *Kernel {
+	return &Kernel{
+		Name: "fib",
+		Desc: "iterative fibonacci: a tight loop-carried recurrence",
+		Source: `
+    addi r1, r0, 0
+    addi r2, r0, 1
+    addi r3, r0, 40
+loop:
+    add  r4, r1, r2
+    mov  r1, r2
+    mov  r2, r4
+    subi r3, r3, 1
+    bne  r3, r0, loop
+    halt
+`,
+		Expected: map[int]int64{2: 165580141}, // fib(41)
+	}
+}
+
+// sieveKernel: the sieve of Eratosthenes over memory with nested loops
+// and data-dependent branches.
+func sieveKernel() *Kernel {
+	const limit = 500
+	// Reference prime count.
+	count := int64(0)
+	sieve := make([]bool, limit)
+	for i := 2; i < limit; i++ {
+		if !sieve[i] {
+			count++
+			for j := i * i; j < limit; j += i {
+				sieve[j] = true
+			}
+		}
+	}
+	return &Kernel{
+		Name: "sieve",
+		Desc: "sieve of Eratosthenes: nested loops, stores, data-dependent branches",
+		Source: `
+    lui  r10, 1         ; flags base = 0x10000 (8 bytes per flag)
+    addi r11, r0, 500   ; limit
+    addi r1, r0, 2      ; i
+    addi r9, r0, 0      ; prime count
+outer:
+    bge  r1, r11, done
+    shl  r2, r1, r12    ; r12 = 3 -> byte offset = i*8
+    add  r2, r2, r10
+    ld   r3, r2, 0      ; flags[i]
+    bne  r3, r0, next
+    addi r9, r9, 1      ; i is prime
+    mul  r4, r1, r1     ; j = i*i
+inner:
+    bge  r4, r11, next
+    shl  r5, r4, r12
+    add  r5, r5, r10
+    addi r6, r0, 1
+    st   r6, r5, 0      ; flags[j] = 1
+    add  r4, r4, r1
+    jmp  inner
+next:
+    addi r1, r1, 1
+    jmp  outer
+done:
+    halt
+`,
+		Setup: func(m *emu.Machine) {
+			m.IntRegs[12] = 3 // shift for 8-byte flags
+		},
+		Expected: map[int]int64{9: count},
+	}
+}
+
+// bubbleSortKernel: quadratic sort over an array in memory.
+func bubbleSortKernel() *Kernel {
+	const n = 48
+	vals := make([]int64, n)
+	// A fixed pseudo-random permutation (deterministic, no rand import).
+	x := int64(12345)
+	for i := range vals {
+		x = (x*1103515245 + 12345) % 100000
+		vals[i] = x
+	}
+	return &Kernel{
+		Name: "bsort",
+		Desc: "bubble sort: nested loops, swaps, heavily data-dependent branches",
+		Source: `
+    ; r10 = base, r11 = n
+    subi r1, r11, 1     ; passes = n-1
+outer:
+    beq  r1, r0, done
+    addi r2, r0, 0      ; j = 0
+    mov  r7, r10        ; ptr = base
+inner:
+    bge  r2, r1, endpass
+    ld   r3, r7, 0
+    ld   r4, r7, 8
+    blt  r3, r4, noswap
+    st   r4, r7, 0
+    st   r3, r7, 8
+noswap:
+    addi r7, r7, 8
+    addi r2, r2, 1
+    jmp  inner
+endpass:
+    subi r1, r1, 1
+    jmp  outer
+done:
+    halt
+`,
+		Setup: func(m *emu.Machine) {
+			m.IntRegs[10] = 0x2_0000
+			m.IntRegs[11] = n
+			for i, v := range vals {
+				m.WriteMem(0x2_0000+uint64(i)*8, v)
+			}
+		},
+		Check: func(m *emu.Machine) error {
+			prev := m.ReadMem(0x2_0000)
+			for i := 1; i < n; i++ {
+				cur := m.ReadMem(0x2_0000 + uint64(i)*8)
+				if cur < prev {
+					return fmt.Errorf("not sorted at %d: %d < %d", i, cur, prev)
+				}
+				prev = cur
+			}
+			return nil
+		},
+	}
+}
+
+// chaseKernel: a linked-list walk — the mcf-style serial load chain.
+func chaseKernel() *Kernel {
+	const nodes = 256
+	return &Kernel{
+		Name: "chase",
+		Desc: "linked-list pointer chase: serial dependent loads (mcf-style)",
+		Source: `
+    ; r10 = head pointer, r11 = steps
+    addi r9, r0, 0
+loop:
+    ld   r10, r10, 0    ; p = *p
+    addi r9, r9, 1
+    subi r11, r11, 1
+    bne  r11, r0, loop
+    halt
+`,
+		Setup: func(m *emu.Machine) {
+			// Build a shuffled singly linked ring of 256 nodes.
+			base := uint64(0x3_0000)
+			perm := make([]int, nodes)
+			for i := range perm {
+				perm[i] = i
+			}
+			x := 99991
+			for i := nodes - 1; i > 0; i-- {
+				x = (x*48271 + 11) % 2147483647
+				j := x % (i + 1)
+				perm[i], perm[j] = perm[j], perm[i]
+			}
+			for i := 0; i < nodes; i++ {
+				from := base + uint64(perm[i])*16
+				to := base + uint64(perm[(i+1)%nodes])*16
+				m.WriteMem(from, int64(to))
+			}
+			m.IntRegs[10] = int64(base + uint64(perm[0])*16)
+			m.IntRegs[11] = 4096
+		},
+		Expected: map[int]int64{9: 4096},
+	}
+}
+
+// dotKernel: FP dot product.
+func dotKernel() *Kernel {
+	const n = 128
+	want := int64(0)
+	{
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			a := float64(i) * 0.5
+			b := float64(n - i)
+			sum += a * b
+		}
+		want = int64(sum)
+	}
+	return &Kernel{
+		Name: "dot",
+		Desc: "FP dot product: streaming loads feeding multiply-accumulate",
+		Source: `
+    ; r10 = a base, r11 = b base, r12 = n
+    cvtif f1, r0        ; sum = 0
+loop:
+    ldf  f2, r10, 0
+    ldf  f3, r11, 0
+    fmul f4, f2, f3
+    fadd f1, f1, f4
+    addi r10, r10, 8
+    addi r11, r11, 8
+    subi r12, r12, 1
+    bne  r12, r0, loop
+    cvtfi r9, f1
+    halt
+`,
+		Setup: func(m *emu.Machine) {
+			a, b := uint64(0x4_0000), uint64(0x5_0000)
+			for i := 0; i < n; i++ {
+				m.WriteMemF(a+uint64(i)*8, float64(i)*0.5)
+				m.WriteMemF(b+uint64(i)*8, float64(n-i))
+			}
+			m.IntRegs[10] = int64(a)
+			m.IntRegs[11] = int64(b)
+			m.IntRegs[12] = n
+		},
+		Expected: map[int]int64{9: want},
+	}
+}
+
+// stencilKernel: a 1-D three-point FP stencil (swim/mgrid-style).
+func stencilKernel() *Kernel {
+	const n = 96
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i%7) + 0.25
+	}
+	want := make([]float64, n)
+	for i := 1; i < n-1; i++ {
+		want[i] = (src[i-1] + src[i] + src[i+1]) / 4
+	}
+	return &Kernel{
+		Name: "stencil",
+		Desc: "1-D three-point FP stencil sweep (swim/mgrid-style)",
+		Source: `
+    ; r10 = src, r11 = dst, r12 = n-2 interior points
+    cvtif f9, r13       ; f9 = 4.0 (r13 preset)
+loop:
+    ldf  f1, r10, 0
+    ldf  f2, r10, 8
+    ldf  f3, r10, 16
+    fadd f4, f1, f2
+    fadd f4, f4, f3
+    fdiv f5, f4, f9
+    stf  f5, r11, 8
+    addi r10, r10, 8
+    addi r11, r11, 8
+    subi r12, r12, 1
+    bne  r12, r0, loop
+    halt
+`,
+		Setup: func(m *emu.Machine) {
+			a, b := uint64(0x6_0000), uint64(0x7_0000)
+			for i := 0; i < n; i++ {
+				m.WriteMemF(a+uint64(i)*8, src[i])
+			}
+			m.IntRegs[10] = int64(a)
+			m.IntRegs[11] = int64(b)
+			m.IntRegs[12] = n - 2
+			m.IntRegs[13] = 4
+		},
+		Check: func(m *emu.Machine) error {
+			b := uint64(0x7_0000)
+			for i := 1; i < n-1; i++ {
+				got := m.ReadMemF(b + uint64(i)*8)
+				if diff := got - want[i]; diff > 1e-12 || diff < -1e-12 {
+					return fmt.Errorf("dst[%d] = %v, want %v", i, got, want[i])
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// gcdKernel: Euclid's algorithm via a recursive-style call chain.
+func gcdKernel() *Kernel {
+	return &Kernel{
+		Name: "gcd",
+		Desc: "Euclid's gcd with function calls and the remainder unit",
+		Source: `
+    addi r1, r0, 1071
+    addi r2, r0, 462
+gcd:
+    beq  r2, r0, done
+    rem  r3, r1, r2
+    mov  r1, r2
+    mov  r2, r3
+    jmp  gcd
+done:
+    mov  r9, r1
+    halt
+`,
+		Expected: map[int]int64{9: 21},
+	}
+}
+
+// matmulKernel: a small dense FP matrix multiply (classic three-deep nest).
+func matmulKernel() *Kernel {
+	const n = 12
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%9) * 0.5
+		b[i] = float64((i*7)%11) - 3
+	}
+	want := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for k := 0; k < n; k++ {
+				sum += a[i*n+k] * b[k*n+j]
+			}
+			want[i*n+j] = sum
+		}
+	}
+	return &Kernel{
+		Name: "matmul",
+		Desc: "dense FP matrix multiply: a three-deep loop nest of multiply-accumulates",
+		Source: `
+    ; r10=a r11=b r12=c r13=n r14=8 (element size) r15=n*8 (row stride)
+    addi r1, r0, 0        ; i
+iloop:
+    bge  r1, r13, done
+    addi r2, r0, 0        ; j
+jloop:
+    bge  r2, r13, inext
+    cvtif f1, r0          ; sum = 0
+    addi r3, r0, 0        ; k
+    mul  r4, r1, r15      ; &a[i*n]
+    add  r4, r4, r10
+    mul  r5, r2, r14      ; &b[0*n+j]
+    add  r5, r5, r11
+kloop:
+    bge  r3, r13, kdone
+    ldf  f2, r4, 0
+    ldf  f3, r5, 0
+    fmul f4, f2, f3
+    fadd f1, f1, f4
+    add  r4, r4, r14      ; a walks a row
+    add  r5, r5, r15      ; b walks a column
+    addi r3, r3, 1
+    jmp  kloop
+kdone:
+    mul  r6, r1, r15      ; &c[i*n+j]
+    mul  r7, r2, r14
+    add  r6, r6, r7
+    add  r6, r6, r12
+    stf  f1, r6, 0
+    addi r2, r2, 1
+    jmp  jloop
+inext:
+    addi r1, r1, 1
+    jmp  iloop
+done:
+    halt
+`,
+		Setup: func(m *emu.Machine) {
+			ab, bb, cb := uint64(0x8_0000), uint64(0x9_0000), uint64(0xA_0000)
+			for i := 0; i < n*n; i++ {
+				m.WriteMemF(ab+uint64(i)*8, a[i])
+				m.WriteMemF(bb+uint64(i)*8, b[i])
+			}
+			m.IntRegs[10] = int64(ab)
+			m.IntRegs[11] = int64(bb)
+			m.IntRegs[12] = int64(cb)
+			m.IntRegs[13] = n
+			m.IntRegs[14] = 8
+			m.IntRegs[15] = n * 8
+		},
+		Check: func(m *emu.Machine) error {
+			cb := uint64(0xA_0000)
+			for i := 0; i < n*n; i++ {
+				got := m.ReadMemF(cb + uint64(i)*8)
+				if diff := got - want[i]; diff > 1e-9 || diff < -1e-9 {
+					return fmt.Errorf("c[%d] = %v, want %v", i, got, want[i])
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// hashKernel: open-addressing hash probes (vortex-ish: data-dependent
+// loads and compare-branch chains).
+func hashKernel() *Kernel {
+	const buckets = 512 // power of two
+	const keys = 200
+	// Reference: insert keys with linear probing, then count total probes
+	// to find them all again.
+	table := make([]int64, buckets)
+	insert := func(k int64) {
+		h := int(uint64(k*2654435761) % buckets)
+		for table[h] != 0 {
+			h = (h + 1) % buckets
+		}
+		table[h] = k
+	}
+	probesFor := func(k int64) int64 {
+		h := int(uint64(k*2654435761) % buckets)
+		p := int64(1)
+		for table[h] != k {
+			h = (h + 1) % buckets
+			p++
+		}
+		return p
+	}
+	var totalProbes int64
+	for i := 1; i <= keys; i++ {
+		insert(int64(i*7 + 3))
+	}
+	for i := 1; i <= keys; i++ {
+		totalProbes += probesFor(int64(i*7 + 3))
+	}
+	return &Kernel{
+		Name: "hash",
+		Desc: "open-addressing hash probes: data-dependent loads and branches (vortex-ish)",
+		Source: `
+    ; r10=table r11=#keys r12=hash multiplier r13=bucket mask (power of 2 - 1)
+    addi r1, r0, 1        ; key index i
+    addi r9, r0, 0        ; total probes
+keyloop:
+    ; key = i*7+3
+    addi r2, r0, 7
+    mul  r2, r1, r2
+    addi r2, r2, 3
+    ; h = (key * mult) & mask
+    mul  r3, r2, r12
+    and  r3, r3, r13
+probe:
+    addi r9, r9, 1
+    shl  r4, r3, r14      ; r14 = 3 (8-byte slots)
+    add  r4, r4, r10
+    ld   r5, r4, 0
+    beq  r5, r2, found
+    addi r3, r3, 1
+    and  r3, r3, r13
+    jmp  probe
+found:
+    addi r1, r1, 1
+    bge  r11, r1, keyloop ; while i <= #keys
+    halt
+`,
+		Setup: func(m *emu.Machine) {
+			base := uint64(0xB_0000)
+			for i, v := range table {
+				m.WriteMem(base+uint64(i)*8, v)
+			}
+			m.IntRegs[10] = int64(base)
+			m.IntRegs[11] = keys
+			m.IntRegs[12] = 2654435761
+			m.IntRegs[13] = buckets - 1
+			m.IntRegs[14] = 3
+		},
+		Expected: map[int]int64{9: totalProbes},
+	}
+}

@@ -1,0 +1,100 @@
+package kernels
+
+import (
+	"testing"
+
+	"dcg/internal/config"
+	"dcg/internal/core"
+	"dcg/internal/cpu"
+)
+
+func TestAllKernelsVerify(t *testing.T) {
+	for _, k := range All() {
+		n, err := k.Verify()
+		if err != nil {
+			t.Errorf("%v", err)
+			continue
+		}
+		if n == 0 {
+			t.Errorf("%s: executed nothing", k.Name)
+		}
+		t.Logf("%-8s %7d insts  (%s)", k.Name, n, k.Desc)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("sieve"); !ok {
+		t.Fatal("sieve missing")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("phantom kernel")
+	}
+}
+
+// TestKernelsOnPipeline runs every kernel through the cycle-level core
+// and cross-checks: the pipeline must commit exactly the functionally
+// executed instruction count, and IPC must be physical.
+func TestKernelsOnPipeline(t *testing.T) {
+	for _, k := range All() {
+		funcCount, err := k.Verify()
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := cpu.New(config.Default(), k.Machine())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(200_000_000); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		st := c.Stats()
+		if st.Committed != funcCount {
+			t.Errorf("%s: pipeline committed %d, emulator executed %d",
+				k.Name, st.Committed, funcCount)
+		}
+		if ipc := st.IPC(); ipc <= 0 || ipc > float64(config.Default().IssueWidth) {
+			t.Errorf("%s: IPC %.2f out of physical range", k.Name, ipc)
+		}
+	}
+}
+
+// TestChaseIsSerial checks the pointer-chase kernel behaves like mcf: its
+// IPC must be far below the sort kernel's (serial loads vs parallel work).
+func TestChaseIsSerial(t *testing.T) {
+	ipc := func(name string) float64 {
+		k, _ := ByName(name)
+		c, err := cpu.New(config.Default(), k.Machine())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Run(200_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats().IPC()
+	}
+	chase, sum := ipc("chase"), ipc("sum")
+	if chase >= sum {
+		t.Errorf("pointer chase IPC %.2f not below counted loop %.2f", chase, sum)
+	}
+}
+
+// TestKernelDCGZeroLoss runs a kernel under DCG through the public API and
+// confirms the no-performance-loss guarantee holds for real programs too.
+func TestKernelDCGZeroLoss(t *testing.T) {
+	sim := core.NewSimulator(core.DefaultMachine())
+	k, _ := ByName("bsort")
+	base, err := sim.RunSource(k.Machine(), core.SchemeNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcg, err := sim.RunSource(k.Machine(), core.SchemeDCG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles != dcg.Cycles {
+		t.Errorf("DCG changed kernel timing: %d vs %d cycles", dcg.Cycles, base.Cycles)
+	}
+	if dcg.Saving <= 0.1 {
+		t.Errorf("DCG saving %.3f implausibly low on a real kernel", dcg.Saving)
+	}
+}

@@ -1,0 +1,227 @@
+package power
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dcg/internal/cpu"
+)
+
+// GateState is a gating scheme's per-cycle decision: which instances of
+// each gatable structure have their clock enabled this cycle. Everything
+// not represented here is always on.
+type GateState struct {
+	// Enabled execution units, as bitmasks over unit indices.
+	IntALUMask  uint32
+	IntMultMask uint32
+	FPALUMask   uint32
+	FPMultMask  uint32
+
+	// BackLatchSlots[s] is the number of enabled issue-slot latches in
+	// gatable latch stage s (stage 0 = rename latch). The slice is owned
+	// by the scheme and reused between cycles.
+	BackLatchSlots []int
+
+	// FrontLatchSlots, when non-nil, gates the front-end latch stages
+	// per slot as well. The paper's DCG cannot do this (no advance
+	// information before decode); only the Oracle headroom scheme sets it.
+	FrontLatchSlots []int
+
+	// DPortsOn is the number of D-cache wordline decoders enabled.
+	DPortsOn int
+
+	// ResultBusOn is the number of result-bus drivers enabled.
+	ResultBusOn int
+
+	// IssueQueueFrac is the enabled fraction of the issue queue
+	// (PLB gates issue-queue slices in its low-power modes; DCG leaves
+	// the issue queue to prior work, section 2.2.2).
+	IssueQueueFrac float64
+
+	// ControlOverhead charges DCG's extended-latch control power.
+	ControlOverhead bool
+}
+
+// Gater produces the gate state for each cycle. The baseline returns
+// everything-on; DCG and PLB implement the paper's two methodologies.
+type Gater interface {
+	Gates(cycle uint64, u *cpu.Usage) GateState
+}
+
+// Accountant integrates per-cycle power into a per-component energy
+// breakdown, applying a Gater's decisions with the paper's accounting
+// rule: full per-cycle power when not gated, zero when gated.
+// It implements cpu.Observer.
+type Accountant struct {
+	Model  *Model
+	Gater  Gater
+	Energy Breakdown
+	Cycles uint64
+
+	// LeakageFrac extends the paper's model: a gated structure still
+	// burns this fraction of its per-cycle power as leakage. The paper
+	// assumes zero ("we assume that there is no leakage loss", section
+	// 4.2), which is the default; the ablation study reports how savings
+	// shrink as leakage grows.
+	LeakageFrac float64
+
+	// GateViolations counts cycles in which a gating decision disabled a
+	// structure the pipeline actually used — a correctness failure for a
+	// deterministic scheme (must stay 0 for DCG; PLB avoids it by
+	// throttling the pipeline to its gated configuration).
+	GateViolations uint64
+}
+
+// NewAccountant builds an accountant for the model and gating scheme.
+func NewAccountant(m *Model, g Gater) *Accountant {
+	return &Accountant{Model: m, Gater: g}
+}
+
+// OnCycle implements cpu.Observer.
+func (a *Accountant) OnCycle(u *cpu.Usage) {
+	m := a.Model
+	gs := a.Gater.Gates(u.Cycle, u)
+	a.Cycles++
+
+	// Gating accounting rule: full power per enabled instance, plus
+	// leakage on gated instances (zero by default, per the paper's
+	// section 4.2).
+	lk := a.LeakageFrac
+	gated := func(on, total int) float64 { return float64(on) + lk*float64(total-on) }
+	cfg := m.cfg
+
+	// Fixed blocks: always on.
+	a.Energy[CompClockTree] += m.perCycle[CompClockTree]
+	a.Energy[CompFetch] += m.perCycle[CompFetch]
+	a.Energy[CompDecode] += m.perCycle[CompDecode]
+	a.Energy[CompRename] += m.perCycle[CompRename]
+	a.Energy[CompBPred] += m.perCycle[CompBPred]
+	a.Energy[CompRegFile] += m.perCycle[CompRegFile]
+	a.Energy[CompLSQ] += m.perCycle[CompLSQ]
+	a.Energy[CompL2] += m.perCycle[CompL2]
+	a.Energy[CompDCacheOther] += m.perCycle[CompDCacheOther]
+	if gs.FrontLatchSlots == nil {
+		a.Energy[CompLatchFront] += m.perCycle[CompLatchFront]
+	} else {
+		fslots := 0
+		for _, n := range gs.FrontLatchSlots {
+			fslots += n
+		}
+		a.Energy[CompLatchFront] += m.LatchSlot * gated(fslots, cfg.IssueWidth*m.FrontLatchStages)
+	}
+
+	a.Energy[CompIssueQueue] += m.perCycle[CompIssueQueue] * gs.IssueQueueFrac
+
+	a.Energy[CompIntALU] += m.IntALUUnit * gated(bits.OnesCount32(gs.IntALUMask), cfg.FU.IntALU)
+	a.Energy[CompIntMult] += m.IntMultUnit * gated(bits.OnesCount32(gs.IntMultMask), cfg.FU.IntMult)
+	a.Energy[CompFPALU] += m.FPALUUnit * gated(bits.OnesCount32(gs.FPALUMask), cfg.FU.FPALU)
+	a.Energy[CompFPMult] += m.FPMultUnit * gated(bits.OnesCount32(gs.FPMultMask), cfg.FU.FPMult)
+
+	// Pipeline latches: per enabled slot per stage.
+	slots := 0
+	for _, n := range gs.BackLatchSlots {
+		slots += n
+	}
+	a.Energy[CompLatchBack] += m.LatchSlot * gated(slots, cfg.IssueWidth*m.BackLatchStages)
+
+	// D-cache wordline decoders: per enabled port.
+	a.Energy[CompDCacheDecoder] += m.DecoderPort * gated(gs.DPortsOn, cfg.DL1.Ports)
+
+	// Result bus drivers: per enabled bus.
+	a.Energy[CompResultBus] += m.ResultBusUnit * gated(gs.ResultBusOn, cfg.IssueWidth)
+
+	if gs.ControlOverhead {
+		a.Energy[CompDCGControl] += m.perCycle[CompDCGControl]
+	}
+
+	// Soundness check: a gated structure must not have been used.
+	if gs.IntALUMask&u.IntALUBusy != u.IntALUBusy ||
+		gs.IntMultMask&u.IntMultBusy != u.IntMultBusy ||
+		gs.FPALUMask&u.FPALUBusy != u.FPALUBusy ||
+		gs.FPMultMask&u.FPMultBusy != u.FPMultBusy ||
+		gs.DPortsOn < u.DPortUsed ||
+		gs.ResultBusOn < u.ResultBus {
+		a.GateViolations++
+	} else {
+		for s, n := range gs.BackLatchSlots {
+			if s < len(u.BackLatch) && n < u.BackLatch[s] {
+				a.GateViolations++
+				break
+			}
+		}
+	}
+}
+
+func f64(n int) float64 { return float64(n) }
+
+// AvgPower returns the mean per-cycle power over the accounted run.
+func (a *Accountant) AvgPower() float64 {
+	if a.Cycles == 0 {
+		return 0
+	}
+	return a.Energy.Total() / float64(a.Cycles)
+}
+
+// Saving returns the fractional power saving relative to the no-gating
+// baseline (which burns AllOnPower every cycle).
+func (a *Accountant) Saving() float64 {
+	base := a.Model.AllOnPower()
+	if base == 0 {
+		return 0
+	}
+	return 1 - a.AvgPower()/base
+}
+
+// ComponentSaving returns the fractional saving of a component group:
+// the energy the group consumed versus always-on, over the accounted
+// cycles. Groups let the per-figure experiments reproduce the paper's
+// per-structure plots (integer units = CompIntALU+CompIntMult, etc).
+func (a *Accountant) ComponentSaving(comps ...Component) float64 {
+	var used, full float64
+	for _, c := range comps {
+		used += a.Energy[c]
+		full += a.Model.perCycle[c] * float64(a.Cycles)
+	}
+	if full == 0 {
+		return 0
+	}
+	return 1 - used/full
+}
+
+// LatchSaving returns the paper's Figure 14 quantity: the saving over
+// total pipeline latch power (front + back), with the DCG control-latch
+// overhead charged against it.
+func (a *Accountant) LatchSaving() float64 {
+	used := a.Energy[CompLatchFront] + a.Energy[CompLatchBack] + a.Energy[CompDCGControl]
+	full := a.Model.LatchPower() * float64(a.Cycles)
+	if full == 0 {
+		return 0
+	}
+	return 1 - used/full
+}
+
+// DCacheSaving returns the paper's Figure 15 quantity: the saving over
+// total D-cache power (decoders + rest).
+func (a *Accountant) DCacheSaving() float64 {
+	used := a.Energy[CompDCacheDecoder] + a.Energy[CompDCacheOther]
+	full := a.Model.DCachePower() * float64(a.Cycles)
+	if full == 0 {
+		return 0
+	}
+	return 1 - used/full
+}
+
+// Validate checks energy-conservation invariants: every component's energy
+// is within [0, allOn] (property 4 in DESIGN.md).
+func (a *Accountant) Validate() error {
+	for c := Component(0); c < NumComponents; c++ {
+		full := a.Model.perCycle[c] * float64(a.Cycles)
+		if a.Energy[c] < -1e-9 {
+			return fmt.Errorf("power: component %v has negative energy", c)
+		}
+		if a.Energy[c] > full*(1+1e-9)+1e-9 {
+			return fmt.Errorf("power: component %v energy %.1f exceeds all-on %.1f", c, a.Energy[c], full)
+		}
+	}
+	return nil
+}

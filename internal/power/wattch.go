@@ -1,0 +1,84 @@
+// Package power implements a Wattch-style per-structure power model for the
+// simulated processor, scaled for a 0.18 µm technology, together with the
+// paper's gating accounting rule: a gatable circuit contributes its full
+// per-cycle power whenever it is not clock-gated, and zero when it is
+// (section 4.2; leakage is not modelled, as in the paper).
+//
+// Power values are in relative units ("mW-equivalents"); the paper's
+// results are all savings percentages, so only per-component *fractions*
+// of total processor power matter. The model derives the gatable
+// structures' power from geometry (latch bit counts per stage, decoder
+// rows per port, execution unit datapath widths, bus widths), so the
+// deep-pipeline study (Figure 17), the ALU-count sweep (section 4.4), and
+// width changes scale correctly, and it uses a calibration table for the
+// remaining fixed blocks so the baseline breakdown matches published
+// Wattch breakdowns for an 8-wide 0.18 µm machine.
+package power
+
+import "math"
+
+// Technology constants (relative capacitance units). Calibrated once for
+// the Table 1 machine; see Model for the resulting breakdown.
+const (
+	// cLatchBit is the clock-node capacitance of one pipeline latch bit.
+	// A stage latch holds issue-width x operands x operand-width bits
+	// (section 3.2: 8 x 2 x 64 = 1024 bits).
+	cLatchBit = 1.0
+
+	// cDecodeRow is the per-row dynamic-logic decoder capacitance
+	// (3x8 NAND predecoders, NOR stage, wordline drivers; Figure 8),
+	// calibrated so the wordline decoders come to ~40 % of total D-cache
+	// power, as the paper states in section 5.4.
+	cDecodeRow = 0.464
+
+	// Per-result-bit capacitances of the dynamic-logic execution units.
+	cALUBit = 8.2 // carry-lookahead adder + logic unit
+	cMulBit = 7.0 // multiplier/divider (2 units share the mult/div pool)
+	cFPBit  = 5.6 // FP adder / FP multiplier datapath
+
+	// cBusBit is the per-bit result-bus wire + driver capacitance.
+	cBusBit = 1.1
+
+	// dcgControlFrac is the power overhead of DCG's extended control
+	// latches, as a fraction of total pipeline latch power (section 5.3:
+	// "merely 1% of total latch power"; the extra latches are never
+	// gated).
+	dcgControlFrac = 0.01
+)
+
+// log2ceil returns ceil(log2(n)) for n >= 1.
+func log2ceil(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return math.Ceil(math.Log2(float64(n)))
+}
+
+// latchStagePower returns the per-cycle clock power of one pipeline latch
+// stage for a machine of the given issue width and operand width.
+func latchStagePower(issueWidth, operandWidth int) float64 {
+	bits := float64(issueWidth) * 2 * float64(operandWidth)
+	return bits * cLatchBit
+}
+
+// latchSlotPower returns the per-cycle clock power of one issue slot's
+// share of one latch stage (the granularity at which DCG gates latches).
+func latchSlotPower(issueWidth, operandWidth int) float64 {
+	return latchStagePower(issueWidth, operandWidth) / float64(issueWidth)
+}
+
+// decoderPortPower returns the per-cycle power of one D-cache port's
+// dynamic-logic wordline decoder (Figure 8), for an array with the given
+// number of rows.
+func decoderPortPower(rows int) float64 {
+	predecode := log2ceil(rows) * 8
+	return (predecode + float64(rows)) * cDecodeRow
+}
+
+// Execution unit per-unit powers.
+func intALUUnitPower(width int) float64 { return float64(width) * cALUBit }
+func intMulUnitPower(width int) float64 { return float64(width) * cMulBit }
+func fpUnitPower(width int) float64     { return float64(width) * cFPBit }
+
+// resultBusPower returns the per-cycle power of one result bus.
+func resultBusPower(width int) float64 { return float64(width) * cBusBit }

@@ -1,0 +1,163 @@
+// Package report serialises simulation results and experiment tables to
+// JSON and CSV, so the reproduced figures can be plotted or diffed with
+// external tools.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"dcg/internal/core"
+	"dcg/internal/experiments"
+)
+
+// RunRecord is a flattened, serialisation-friendly view of a run result.
+type RunRecord struct {
+	Benchmark string  `json:"benchmark"`
+	Scheme    string  `json:"scheme"`
+	Depth     int     `json:"pipelineDepth"`
+	Insts     uint64  `json:"instructions"`
+	Cycles    uint64  `json:"cycles"`
+	IPC       float64 `json:"ipc"`
+
+	AvgPower      float64 `json:"avgPower"`
+	BaselinePower float64 `json:"baselinePower"`
+	Saving        float64 `json:"saving"`
+	PowerDelay    float64 `json:"powerDelay"`
+
+	IntUnitUtil  float64 `json:"intUnitUtil"`
+	FPUnitUtil   float64 `json:"fpUnitUtil"`
+	LatchUtil    float64 `json:"latchUtil"`
+	DPortUtil    float64 `json:"dportUtil"`
+	BusUtil      float64 `json:"busUtil"`
+	BranchAcc    float64 `json:"branchAccuracy"`
+	DL1MissRate  float64 `json:"dl1MissRate"`
+	L2MissRate   float64 `json:"l2MissRate"`
+	GateViolates uint64  `json:"gateViolations"`
+}
+
+// FromResult flattens a run result.
+func FromResult(r *core.Result) RunRecord {
+	return RunRecord{
+		Benchmark:     r.Benchmark,
+		Scheme:        r.Scheme,
+		Depth:         r.Machine.Pipeline.Depth,
+		Insts:         r.Committed,
+		Cycles:        r.Cycles,
+		IPC:           r.IPC,
+		AvgPower:      r.AvgPower,
+		BaselinePower: r.BaselinePower,
+		Saving:        r.Saving,
+		PowerDelay:    r.PowerDelay(),
+		IntUnitUtil:   r.Util.IntUnits,
+		FPUnitUtil:    r.Util.FPUnits,
+		LatchUtil:     r.Util.Latches,
+		DPortUtil:     r.Util.DPorts,
+		BusUtil:       r.Util.ResultBus,
+		BranchAcc:     r.BranchAccuracy,
+		DL1MissRate:   r.DL1MissRate,
+		L2MissRate:    r.L2MissRate,
+		GateViolates:  r.GateViolations,
+	}
+}
+
+// WriteJSON emits records as an indented JSON array.
+func WriteJSON(w io.Writer, records []RunRecord) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(records)
+}
+
+// ReadJSON parses records written by WriteJSON.
+func ReadJSON(r io.Reader) ([]RunRecord, error) {
+	var out []RunRecord
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	return out, nil
+}
+
+// runHeader is the CSV column order for RunRecord.
+var runHeader = []string{
+	"benchmark", "scheme", "depth", "instructions", "cycles", "ipc",
+	"avgPower", "baselinePower", "saving", "powerDelay",
+	"intUnitUtil", "fpUnitUtil", "latchUtil", "dportUtil", "busUtil",
+	"branchAccuracy", "dl1MissRate", "l2MissRate", "gateViolations",
+}
+
+// WriteCSV emits records as CSV with a header row.
+func WriteCSV(w io.Writer, records []RunRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(runHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 10, 64) }
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	for _, r := range records {
+		row := []string{
+			r.Benchmark, r.Scheme, strconv.Itoa(r.Depth), u(r.Insts), u(r.Cycles), f(r.IPC),
+			f(r.AvgPower), f(r.BaselinePower), f(r.Saving), f(r.PowerDelay),
+			f(r.IntUnitUtil), f(r.FPUnitUtil), f(r.LatchUtil), f(r.DPortUtil), f(r.BusUtil),
+			f(r.BranchAcc), f(r.DL1MissRate), f(r.L2MissRate), u(r.GateViolates),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ComparisonCSV emits a per-figure comparison (one row per benchmark, one
+// column per scheme series) in the paper's plot layout.
+func ComparisonCSV(w io.Writer, c *experiments.Comparison) error {
+	cw := csv.NewWriter(w)
+	header := []string{"benchmark"}
+	for _, s := range c.Series {
+		header = append(header, s.Scheme)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, b := range c.Benches {
+		row := []string{b}
+		for _, s := range c.Series {
+			row = append(row, strconv.FormatFloat(s.Values[b], 'g', 10, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ComparisonJSON emits a comparison as JSON (benchmarks in a stable order).
+func ComparisonJSON(w io.Writer, c *experiments.Comparison) error {
+	type series struct {
+		Scheme  string             `json:"scheme"`
+		Values  map[string]float64 `json:"values"`
+		IntMean float64            `json:"intMean"`
+		FPMean  float64            `json:"fpMean"`
+	}
+	out := struct {
+		ID      string   `json:"id"`
+		Metric  string   `json:"metric"`
+		Benches []string `json:"benchmarks"`
+		Series  []series `json:"series"`
+		Paper   string   `json:"paperNote"`
+	}{ID: c.ID, Metric: c.Metric, Benches: append([]string(nil), c.Benches...), Paper: c.PaperNote}
+	sort.Strings(out.Benches)
+	for _, s := range c.Series {
+		out.Series = append(out.Series, series{
+			Scheme: s.Scheme, Values: s.Values, IntMean: s.IntMean, FPMean: s.FPMean,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,98 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dcg/internal/core"
+	"dcg/internal/experiments"
+)
+
+func sampleResult(t *testing.T) *core.Result {
+	t.Helper()
+	sim := core.NewSimulator(core.DefaultMachine())
+	sim.Warmup = 10_000
+	res, err := sim.RunBenchmark("gzip", core.SchemeDCG, 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rec := FromResult(sampleResult(t))
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, []RunRecord{rec}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != rec {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, rec)
+	}
+}
+
+func TestCSVShape(t *testing.T) {
+	rec := FromResult(sampleResult(t))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []RunRecord{rec, rec}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "benchmark,scheme,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "gzip,dcg,8,") {
+		t.Errorf("row = %q", lines[1])
+	}
+	cols := strings.Split(lines[0], ",")
+	row := strings.Split(lines[1], ",")
+	if len(cols) != len(row) {
+		t.Errorf("header %d columns, row %d", len(cols), len(row))
+	}
+}
+
+func TestComparisonExports(t *testing.T) {
+	r := experiments.NewRunner(experiments.Options{
+		Insts: 15_000, Warmup: 15_000, Benchmarks: []string{"gzip", "swim"},
+	})
+	c, err := r.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf bytes.Buffer
+	if err := ComparisonCSV(&csvBuf, c); err != nil {
+		t.Fatal(err)
+	}
+	out := csvBuf.String()
+	for _, want := range []string{"benchmark,dcg,plb-orig,plb-ext", "gzip,", "swim,"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("csv missing %q:\n%s", want, out)
+		}
+	}
+	var jsonBuf bytes.Buffer
+	if err := ComparisonJSON(&jsonBuf, c); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id": "Figure 10"`, `"scheme": "dcg"`, `"paperNote"`} {
+		if !strings.Contains(jsonBuf.String(), want) {
+			t.Errorf("json missing %q", want)
+		}
+	}
+}
+
+func TestRecordCarriesSoundness(t *testing.T) {
+	rec := FromResult(sampleResult(t))
+	if rec.GateViolates != 0 {
+		t.Errorf("DCG run recorded %d violations", rec.GateViolates)
+	}
+	if rec.Saving <= 0 || rec.IPC <= 0 {
+		t.Errorf("record fields empty: %+v", rec)
+	}
+}

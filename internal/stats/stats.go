@@ -1,0 +1,284 @@
+// Package stats provides the counters, rate trackers, histograms and table
+// formatting used by the simulator and the experiment harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a simple monotonically increasing event counter.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.Value += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Value++ }
+
+// Ratio is a numerator/denominator pair, e.g. hits/accesses.
+type Ratio struct {
+	Num, Den uint64
+}
+
+// Observe adds one observation; hit selects the numerator.
+func (r *Ratio) Observe(hit bool) {
+	r.Den++
+	if hit {
+		r.Num++
+	}
+}
+
+// AddNum adds to the numerator only.
+func (r *Ratio) AddNum(n uint64) { r.Num += n }
+
+// AddDen adds to the denominator only.
+func (r *Ratio) AddDen(n uint64) { r.Den += n }
+
+// Value returns num/den, or 0 when the denominator is zero.
+func (r Ratio) Value() float64 {
+	if r.Den == 0 {
+		return 0
+	}
+	return float64(r.Num) / float64(r.Den)
+}
+
+// Histogram accumulates integer observations in fixed-width buckets plus an
+// overflow bucket.
+type Histogram struct {
+	BucketWidth int
+	Buckets     []uint64
+	Overflow    uint64
+	Count       uint64
+	Sum         float64
+	SumSq       float64
+	MinV, MaxV  float64
+	any         bool
+}
+
+// NewHistogram creates a histogram with n buckets of the given width.
+func NewHistogram(nBuckets, width int) *Histogram {
+	if nBuckets <= 0 {
+		nBuckets = 1
+	}
+	if width <= 0 {
+		width = 1
+	}
+	return &Histogram{BucketWidth: width, Buckets: make([]uint64, nBuckets)}
+}
+
+// Observe records a value.
+func (h *Histogram) Observe(v float64) {
+	h.Count++
+	h.Sum += v
+	h.SumSq += v * v
+	if !h.any || v < h.MinV {
+		h.MinV = v
+	}
+	if !h.any || v > h.MaxV {
+		h.MaxV = v
+	}
+	h.any = true
+	top := float64(len(h.Buckets) * h.BucketWidth)
+	switch {
+	case v >= top:
+		h.Overflow++
+	case v < 0 || v != v: // negative or NaN: clamp to the first bucket
+		h.Buckets[0]++
+	default:
+		h.Buckets[int(v)/h.BucketWidth]++
+	}
+}
+
+// Mean returns the arithmetic mean of the observations.
+func (h *Histogram) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// StdDev returns the population standard deviation.
+func (h *Histogram) StdDev() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	m := h.Mean()
+	v := h.SumSq/float64(h.Count) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, which must all be positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Pct formats a fraction as a percentage with one decimal.
+func Pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// Table is a simple fixed-column text table used by the experiment
+// harnesses to print paper-style rows.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// AddRowf appends a row formatting each value with %v (floats as %.1f).
+func (t *Table) AddRowf(cells ...any) {
+	s := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			s[i] = fmt.Sprintf("%.1f", v)
+		case float32:
+			s[i] = fmt.Sprintf("%.1f", v)
+		default:
+			s[i] = fmt.Sprint(c)
+		}
+	}
+	t.AddRow(s...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SortedKeys returns the keys of m in sorted order. Handy for deterministic
+// report output.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// BarRow is one bar of an ASCII bar chart.
+type BarRow struct {
+	Label string
+	Value float64
+	Note  string
+}
+
+// Bars renders rows as a horizontal ASCII bar chart scaled to width
+// characters for the largest value — a terminal rendition of the paper's
+// bar figures.
+func Bars(title string, rows []BarRow, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxV := 0.0
+	labelW := 0
+	for _, r := range rows {
+		if r.Value > maxV {
+			maxV = r.Value
+		}
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title)
+		b.WriteByte('\n')
+	}
+	for _, r := range rows {
+		n := 0
+		if maxV > 0 {
+			n = int(r.Value/maxV*float64(width) + 0.5)
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%-*s |%s%s %.1f", labelW, r.Label,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), r.Value)
+		if r.Note != "" {
+			b.WriteString("  " + r.Note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	c := Counter{Name: "x"}
+	c.Inc()
+	c.Add(4)
+	if c.Value != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Value() != 0 {
+		t.Fatal("empty ratio should be 0")
+	}
+	r.Observe(true)
+	r.Observe(false)
+	r.Observe(true)
+	r.Observe(true)
+	if got := r.Value(); got != 0.75 {
+		t.Fatalf("ratio = %v, want 0.75", got)
+	}
+	r.AddNum(1)
+	r.AddDen(1)
+	if r.Num != 4 || r.Den != 5 {
+		t.Fatalf("ratio internals wrong: %d/%d", r.Num, r.Den)
+	}
+}
+
+func TestHistogramMoments(t *testing.T) {
+	h := NewHistogram(10, 5)
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	if got := h.Mean(); math.Abs(got-3) > 1e-12 {
+		t.Errorf("mean = %v, want 3", got)
+	}
+	if got := h.StdDev(); math.Abs(got-math.Sqrt(2)) > 1e-12 {
+		t.Errorf("stddev = %v, want sqrt(2)", got)
+	}
+	if h.MinV != 1 || h.MaxV != 5 {
+		t.Errorf("min/max = %v/%v", h.MinV, h.MaxV)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(4, 10)
+	h.Observe(0)
+	h.Observe(9)
+	h.Observe(10)
+	h.Observe(39)
+	h.Observe(40) // overflow
+	h.Observe(-3) // clamps to bucket 0
+	if h.Buckets[0] != 3 {
+		t.Errorf("bucket0 = %d, want 3", h.Buckets[0])
+	}
+	if h.Buckets[1] != 1 || h.Buckets[3] != 1 {
+		t.Errorf("buckets = %v", h.Buckets)
+	}
+	if h.Overflow != 1 {
+		t.Errorf("overflow = %d, want 1", h.Overflow)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{2, 4}); got != 3 {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean = %v", got)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("GeoMean with zero should return 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("title", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	out := tb.String()
+	for _, want := range []string{"title", "name", "value", "alpha", "beta", "2.5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows
+	if len(lines) != 5 {
+		t.Errorf("table has %d lines, want 5:\n%s", len(lines), out)
+	}
+}
+
+func TestTableDropsExtraCells(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow("x", "dropped")
+	if strings.Contains(tb.String(), "dropped") {
+		t.Error("extra cell was not dropped")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	got := SortedKeys(m)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("SortedKeys = %v", got)
+	}
+}
+
+// Property: histogram count/sum always consistent with observations.
+func TestQuickHistogramConservation(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram(8, 4)
+		sum := 0.0
+		n := 0
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.Observe(v)
+			sum += v
+			n++
+		}
+		if h.Count != uint64(n) {
+			return false
+		}
+		inBuckets := h.Overflow
+		for _, b := range h.Buckets {
+			inBuckets += b
+		}
+		return inBuckets == h.Count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars("chart", []BarRow{
+		{Label: "dcg", Value: 20.7},
+		{Label: "plb-ext", Value: 7.8, Note: "paper 11.0"},
+		{Label: "zero", Value: 0},
+	}, 20)
+	if !strings.Contains(out, "chart") || !strings.Contains(out, "paper 11.0") {
+		t.Fatalf("bars malformed:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The largest value fills the width; zero draws nothing.
+	if !strings.Contains(lines[1], strings.Repeat("#", 20)) {
+		t.Error("max bar not full width")
+	}
+	if strings.Contains(lines[3], "#") {
+		t.Error("zero bar drew marks")
+	}
+}

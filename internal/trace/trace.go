@@ -1,0 +1,124 @@
+// Package trace defines the dynamic instruction stream that feeds the
+// pipeline simulator, and the Source interface every front end implements.
+//
+// Three front ends produce this stream:
+//
+//   - internal/workload: synthetic SPEC2000-like generators,
+//   - internal/emu: a functional emulator executing assembled programs,
+//   - test code, which builds streams by hand.
+//
+// The pipeline is execution-driven with oracle outcomes: each dynamic
+// instruction carries its resolved branch outcome and effective address, and
+// the core models fetch redirects, cache misses and structural stalls around
+// those resolved facts. This is the same "functional-first" organisation
+// SimpleScalar's sim-outorder uses.
+package trace
+
+import "dcg/internal/isa"
+
+// DynInst is one dynamic instruction as produced by a front end.
+type DynInst struct {
+	// PC is the instruction's address. Used by branch predictor and I-cache.
+	PC uint64
+
+	// Inst is the decoded static instruction.
+	Inst isa.Inst
+
+	// Seq is the dynamic sequence number (0-based, dense).
+	Seq uint64
+
+	// Taken is the resolved direction for control instructions.
+	Taken bool
+
+	// Target is the resolved next PC for control instructions (fall-through
+	// PC when not taken).
+	Target uint64
+
+	// EA is the resolved effective address for loads and stores.
+	EA uint64
+}
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (d *DynInst) IsBranch() bool { return d.Inst.Class() == isa.ClassBranch }
+
+// IsCtrl reports whether the instruction redirects control flow.
+func (d *DynInst) IsCtrl() bool { return d.Inst.Class().IsCtrl() }
+
+// IsMem reports whether the instruction accesses the D-cache.
+func (d *DynInst) IsMem() bool { return d.Inst.Class().IsMem() }
+
+// NextPC returns the architecturally correct next PC.
+func (d *DynInst) NextPC() uint64 {
+	if d.IsCtrl() && d.Taken {
+		return d.Target
+	}
+	return d.PC + 4
+}
+
+// Source produces a dynamic instruction stream.
+type Source interface {
+	// Next returns the next dynamic instruction, or ok=false when the
+	// stream is exhausted. Implementations must be deterministic for a
+	// given construction.
+	Next() (DynInst, bool)
+
+	// Name identifies the workload (benchmark name) for reporting.
+	Name() string
+}
+
+// SliceSource adapts a pre-built instruction slice to Source. It is mainly
+// used by tests.
+type SliceSource struct {
+	Insts []DynInst
+	Label string
+	pos   int
+}
+
+// NewSliceSource builds a Source that replays insts in order.
+func NewSliceSource(label string, insts []DynInst) *SliceSource {
+	return &SliceSource{Insts: insts, Label: label}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next() (DynInst, bool) {
+	if s.pos >= len(s.Insts) {
+		return DynInst{}, false
+	}
+	d := s.Insts[s.pos]
+	s.pos++
+	return d, true
+}
+
+// Name implements Source.
+func (s *SliceSource) Name() string { return s.Label }
+
+// Reset rewinds the source to the beginning of the stream.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// LimitSource wraps a Source and stops after max instructions.
+type LimitSource struct {
+	Src Source
+	Max uint64
+	n   uint64
+}
+
+// NewLimitSource caps src at max dynamic instructions.
+func NewLimitSource(src Source, max uint64) *LimitSource {
+	return &LimitSource{Src: src, Max: max}
+}
+
+// Next implements Source.
+func (l *LimitSource) Next() (DynInst, bool) {
+	if l.n >= l.Max {
+		return DynInst{}, false
+	}
+	d, ok := l.Src.Next()
+	if !ok {
+		return DynInst{}, false
+	}
+	l.n++
+	return d, true
+}
+
+// Name implements Source.
+func (l *LimitSource) Name() string { return l.Src.Name() }

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"testing"
+
+	"dcg/internal/isa"
+)
+
+func mkInst(seq uint64, op isa.Opcode) DynInst {
+	in := isa.Inst{Op: op, Dst: isa.NoReg, Src1: isa.NoReg, Src2: isa.NoReg}
+	if op.HasDst() {
+		in.Dst = isa.IntReg(1)
+	}
+	if op.NumSrc() >= 1 {
+		in.Src1 = isa.IntReg(2)
+	}
+	if op.NumSrc() >= 2 {
+		in.Src2 = isa.IntReg(3)
+	}
+	return DynInst{PC: 0x1000 + seq*4, Seq: seq, Inst: in}
+}
+
+func TestSliceSourceReplaysInOrder(t *testing.T) {
+	insts := []DynInst{mkInst(0, isa.OpAdd), mkInst(1, isa.OpLd), mkInst(2, isa.OpSt)}
+	src := NewSliceSource("unit", insts)
+	if src.Name() != "unit" {
+		t.Fatalf("Name() = %q", src.Name())
+	}
+	for i := range insts {
+		d, ok := src.Next()
+		if !ok {
+			t.Fatalf("stream ended early at %d", i)
+		}
+		if d.Seq != uint64(i) {
+			t.Fatalf("out of order: got seq %d at position %d", d.Seq, i)
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("stream did not end")
+	}
+	src.Reset()
+	if d, ok := src.Next(); !ok || d.Seq != 0 {
+		t.Fatal("Reset did not rewind")
+	}
+}
+
+func TestLimitSourceCaps(t *testing.T) {
+	var insts []DynInst
+	for i := 0; i < 10; i++ {
+		insts = append(insts, mkInst(uint64(i), isa.OpAdd))
+	}
+	lim := NewLimitSource(NewSliceSource("unit", insts), 4)
+	n := 0
+	for {
+		if _, ok := lim.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 4 {
+		t.Fatalf("LimitSource delivered %d, want 4", n)
+	}
+}
+
+func TestLimitSourceShortStream(t *testing.T) {
+	lim := NewLimitSource(NewSliceSource("unit", []DynInst{mkInst(0, isa.OpAdd)}), 100)
+	n := 0
+	for {
+		if _, ok := lim.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("LimitSource delivered %d, want 1", n)
+	}
+}
+
+func TestNextPC(t *testing.T) {
+	br := mkInst(0, isa.OpBne)
+	br.Taken = true
+	br.Target = 0x2000
+	if br.NextPC() != 0x2000 {
+		t.Errorf("taken branch NextPC = %#x", br.NextPC())
+	}
+	br.Taken = false
+	if br.NextPC() != br.PC+4 {
+		t.Errorf("not-taken branch NextPC = %#x", br.NextPC())
+	}
+	add := mkInst(1, isa.OpAdd)
+	add.Target = 0x9999 // must be ignored for non-control
+	if add.NextPC() != add.PC+4 {
+		t.Errorf("non-control NextPC = %#x", add.NextPC())
+	}
+}
+
+func TestClassPredicatesOnDynInst(t *testing.T) {
+	ld, add := mkInst(0, isa.OpLd), mkInst(0, isa.OpAdd)
+	bne, jmp := mkInst(0, isa.OpBne), mkInst(0, isa.OpJmp)
+	if !ld.IsMem() || add.IsMem() {
+		t.Error("IsMem misclassifies")
+	}
+	if !bne.IsBranch() || jmp.IsBranch() {
+		t.Error("IsBranch misclassifies")
+	}
+	if !jmp.IsCtrl() || !bne.IsCtrl() {
+		t.Error("IsCtrl misclassifies")
+	}
+}

@@ -1,0 +1,32 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// SaveProfile serialises a profile as indented JSON, so custom benchmarks
+// can live in files and be shared.
+func SaveProfile(w io.Writer, p Profile) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// LoadProfile parses and validates a JSON profile.
+func LoadProfile(r io.Reader) (Profile, error) {
+	var p Profile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&p); err != nil {
+		return Profile{}, fmt.Errorf("workload: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,50 @@
+package workload
+
+// rng is a splitmix64 PRNG. The generator uses its own PRNG (rather than
+// math/rand) so that streams are bit-reproducible across Go releases —
+// experiment results must be stable for EXPERIMENTS.md.
+type rng struct {
+	state uint64
+}
+
+func newRNG(seed uint64) *rng {
+	return &rng{state: seed + 0x9E3779B97F4A7C15}
+}
+
+// next returns the next 64 random bits.
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform integer in [0, n).
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// float returns a uniform float64 in [0, 1).
+func (r *rng) float() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// bernoulli returns true with probability p.
+func (r *rng) bernoulli(p float64) bool { return r.float() < p }
+
+// geometric returns a geometric variate with the given mean (>= 1).
+func (r *rng) geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for !r.bernoulli(p) && n < 10000 {
+		n++
+	}
+	return n
+}
