@@ -1,0 +1,31 @@
+# Standard checks for the godcg repository.
+#
+#   make check   - what CI runs: vet + full test suite under the race
+#                  detector (includes the server/simrun concurrency tests)
+#   make test    - fast suite, no race detector
+#   make bench   - the per-figure and substrate micro-benchmarks
+#   make serve   - run the simulation service locally
+
+GO ?= go
+
+.PHONY: check vet test race bench build serve
+
+check: vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+serve:
+	$(GO) run ./cmd/dcgserve

@@ -1,0 +1,88 @@
+// Command dcgserve runs the clock-gating simulator as an HTTP/JSON
+// service: bounded parallelism, request coalescing, and a result cache
+// over the same simulation core as dcgsim (see docs/SERVICE.md).
+//
+// Usage:
+//
+//	dcgserve [-addr :8080] [-workers N] [-cache 1024]
+//	         [-default-insts 300000] [-max-insts 5000000] [-timeout 60s]
+//
+// Try it:
+//
+//	curl localhost:8080/v1/sim?benchmark=gzip&scheme=dcg
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dcg/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		cacheSize    = flag.Int("cache", 1024, "max memoised results (negative = unbounded)")
+		defaultInsts = flag.Uint64("default-insts", 300_000, "instructions when a request omits insts")
+		maxInsts     = flag.Uint64("max-insts", 5_000_000, "reject requests above this instruction count")
+		timeout      = flag.Duration("timeout", 60*time.Second, "per-request simulation deadline")
+		drainWait    = flag.Duration("drain-wait", 30*time.Second, "shutdown grace period for in-flight requests")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		CacheSize:      *cacheSize,
+		DefaultInsts:   *defaultInsts,
+		MaxInsts:       *maxInsts,
+		DefaultTimeout: *timeout,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("dcgserve listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case sig := <-sigc:
+		log.Printf("got %v; draining (grace %v)", sig, *drainWait)
+	}
+
+	// Graceful shutdown: flip /healthz to 503 so load balancers rotate
+	// us out, then let in-flight simulations finish within the grace
+	// period. A second signal aborts immediately.
+	srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	go func() {
+		<-sigc
+		log.Print("second signal; aborting")
+		cancel()
+	}()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	log.Print("drained; bye")
+}

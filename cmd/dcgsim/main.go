@@ -34,7 +34,7 @@ func main() {
 	)
 	flag.Parse()
 
-	kind, err := parseScheme(*scheme)
+	kind, err := core.ParseScheme(*scheme)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -183,13 +183,4 @@ func runProfile(sim *core.Simulator, path string, kind core.SchemeKind, n uint64
 		fmt.Println(res.Energy.String())
 	}
 	return nil
-}
-
-func parseScheme(s string) (core.SchemeKind, error) {
-	for _, k := range core.AllSchemes() {
-		if k.String() == s {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("dcgsim: unknown scheme %q (want none|dcg|plb-orig|plb-ext)", s)
 }

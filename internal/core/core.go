@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -47,6 +48,17 @@ func (k SchemeKind) String() string {
 // AllSchemes lists every scheme, baseline first.
 func AllSchemes() []SchemeKind {
 	return []SchemeKind{SchemeNone, SchemeDCG, SchemePLBOrig, SchemePLBExt}
+}
+
+// ParseScheme resolves a scheme name ("none", "dcg", "plb-orig",
+// "plb-ext") to its SchemeKind.
+func ParseScheme(s string) (SchemeKind, error) {
+	for _, k := range AllSchemes() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q (want none|dcg|plb-orig|plb-ext)", s)
 }
 
 // DefaultMachine returns the Table 1 processor configuration.
@@ -212,11 +224,27 @@ func (s *Simulator) makeScheme(kind SchemeKind) (gating.Scheme, error) {
 // RunBenchmark simulates maxInsts dynamic instructions of the named
 // built-in benchmark under the given scheme.
 func (s *Simulator) RunBenchmark(name string, kind SchemeKind, maxInsts uint64) (*Result, error) {
+	return s.RunBenchmarkContext(context.Background(), name, kind, maxInsts)
+}
+
+// RunBenchmarkContext is RunBenchmark with cancellation: the context is
+// polled inside the cycle loop, so a canceled or timed-out request aborts
+// the simulation within a few thousand cycles and returns a context error.
+func (s *Simulator) RunBenchmarkContext(ctx context.Context, name string, kind SchemeKind, maxInsts uint64) (*Result, error) {
 	scheme, err := s.makeScheme(kind)
 	if err != nil {
 		return nil, err
 	}
-	return s.RunBenchmarkScheme(name, scheme, maxInsts)
+	prof, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown benchmark %q", name)
+	}
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		return nil, err
+	}
+	warm := trace.NewLimitSource(gen, s.Warmup)
+	return s.run(ctx, warm, trace.NewLimitSource(gen, maxInsts), scheme)
 }
 
 // RunBenchmarkScheme is RunBenchmark with a caller-provided gating scheme
@@ -231,7 +259,7 @@ func (s *Simulator) RunBenchmarkScheme(name string, scheme gating.Scheme, maxIns
 		return nil, err
 	}
 	warm := trace.NewLimitSource(gen, s.Warmup)
-	return s.run(warm, trace.NewLimitSource(gen, maxInsts), scheme)
+	return s.run(context.Background(), warm, trace.NewLimitSource(gen, maxInsts), scheme)
 }
 
 // RunStream warms the machine on the stream's first Warmup instructions,
@@ -243,7 +271,7 @@ func (s *Simulator) RunStream(src trace.Source, kind SchemeKind, maxInsts uint64
 		return nil, err
 	}
 	warm := trace.NewLimitSource(src, s.Warmup)
-	return s.run(warm, trace.NewLimitSource(src, maxInsts), scheme)
+	return s.run(context.Background(), warm, trace.NewLimitSource(src, maxInsts), scheme)
 }
 
 // RunSource simulates the given instruction source to exhaustion under the
@@ -260,16 +288,18 @@ func (s *Simulator) RunSource(src trace.Source, kind SchemeKind) (*Result, error
 // schemes and ablations). No warm-up pass is applied; use RunBenchmark for
 // warmed runs.
 func (s *Simulator) RunScheme(src trace.Source, scheme gating.Scheme) (*Result, error) {
-	return s.run(nil, src, scheme)
+	return s.run(context.Background(), nil, src, scheme)
 }
 
-// run optionally warms the machine on warmSrc, then simulates src.
-func (s *Simulator) run(warmSrc, src trace.Source, scheme gating.Scheme) (*Result, error) {
+// run optionally warms the machine on warmSrc, then simulates src. The
+// context's cancellation is polled inside the warm-up and cycle loops.
+func (s *Simulator) run(ctx context.Context, warmSrc, src trace.Source, scheme gating.Scheme) (*Result, error) {
 	machine := s.machine
 	c, err := cpu.New(machine, src)
 	if err != nil {
 		return nil, err
 	}
+	c.SetCancel(ctx.Err)
 	model, err := power.NewModel(machine)
 	if err != nil {
 		return nil, err

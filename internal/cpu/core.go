@@ -173,11 +173,20 @@ type Core struct {
 	// Per-cycle feedback for the throttle.
 	lastFeedback CycleFeedback
 
+	// cancel, when non-nil, is polled every cancelInterval cycles; a
+	// non-nil return aborts the run (context cancellation / timeouts).
+	cancel func() error
+
 	usage Usage
 	stats Stats
 
 	cycle uint64
 }
+
+// cancelInterval is how often (in cycles, a power of two) Run polls the
+// cancellation check. Coarse enough to stay off the per-cycle hot path,
+// fine enough that a canceled simulation stops within microseconds.
+const cancelInterval = 4096
 
 // New builds a core over the given source with the given throttle (nil
 // means unthrottled). observer and issueLis may be nil.
@@ -250,6 +259,11 @@ func (c *Core) SetThrottle(t Throttle) {
 // SetObserver installs the per-cycle usage observer.
 func (c *Core) SetObserver(o Observer) { c.observer = o }
 
+// SetCancel installs a cancellation check (typically context.Context.Err)
+// polled every cancelInterval cycles by Run and Warm. A non-nil return
+// aborts the simulation with that error. Must be set before Run.
+func (c *Core) SetCancel(check func() error) { c.cancel = check }
+
 // SetIssueListener installs the issue-event (GRANT signal) listener.
 func (c *Core) SetIssueListener(l IssueListener) { c.issueLis = l }
 
@@ -273,6 +287,9 @@ func (c *Core) Config() config.Config { return c.cfg }
 func (c *Core) Warm(src trace.Source, n uint64) {
 	var lastLine uint64 = ^uint64(0)
 	for i := uint64(0); i < n; i++ {
+		if c.cancel != nil && i&(cancelInterval-1) == 0 && c.cancel() != nil {
+			break // Run will surface the cancellation error immediately
+		}
 		d, ok := src.Next()
 		if !ok {
 			break
@@ -299,6 +316,13 @@ func (c *Core) Run(maxCycles uint64) (uint64, error) {
 	for {
 		if maxCycles > 0 && c.cycle >= maxCycles {
 			return c.cycle, fmt.Errorf("cpu: cycle limit %d reached with %d committed", maxCycles, c.stats.Committed)
+		}
+		if c.cancel != nil && c.cycle&(cancelInterval-1) == 0 {
+			if err := c.cancel(); err != nil {
+				c.stats.Cycles = c.cycle
+				return c.cycle, fmt.Errorf("cpu: canceled at cycle %d with %d committed: %w",
+					c.cycle, c.stats.Committed, err)
+			}
 		}
 		if c.streamDone && c.robCount == 0 && len(c.front) == 0 && !c.nextValid {
 			break

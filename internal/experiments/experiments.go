@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"dcg/internal/config"
 	"dcg/internal/core"
 	"dcg/internal/power"
+	"dcg/internal/simrun"
 	"dcg/internal/stats"
 	"dcg/internal/workload"
 )
@@ -39,22 +41,14 @@ func DefaultOptions() Options {
 	return Options{Insts: 300_000}
 }
 
-// runKey identifies a memoised simulation run.
-type runKey struct {
-	bench  string
-	scheme core.SchemeKind
-	deep   bool
-	intALU int
-}
-
 // Runner executes and memoises simulation runs shared across experiments.
-// Uncached runs are executed in parallel (each simulation is independent
-// and fully deterministic, so parallel order cannot change any result).
+// Memoisation and request coalescing live in simrun.Cache (shared with
+// the serving layer); uncached runs are executed in parallel (each
+// simulation is independent and fully deterministic, so parallel order
+// cannot change any result).
 type Runner struct {
 	opts Options
-
-	mu    sync.Mutex
-	cache map[runKey]*core.Result
+	memo *simrun.Cache
 }
 
 // NewRunner builds a Runner.
@@ -65,68 +59,61 @@ func NewRunner(opts Options) *Runner {
 	if opts.Benchmarks == nil {
 		opts.Benchmarks = workload.Names()
 	}
-	return &Runner{opts: opts, cache: make(map[runKey]*core.Result)}
+	return &Runner{opts: opts, memo: simrun.NewCache(0)}
 }
 
 // Benchmarks returns the active benchmark list.
 func (r *Runner) Benchmarks() []string { return r.opts.Benchmarks }
 
-func (r *Runner) machine(deep bool, intALU int) config.Config {
-	m := config.Default()
-	if deep {
-		m = config.Deep()
+// key canonicalises one run of this Runner's configuration.
+func (r *Runner) key(bench string, scheme core.SchemeKind, deep bool, intALU int) simrun.Key {
+	return simrun.Key{
+		Bench: bench, Scheme: scheme, Deep: deep, IntALU: intALU,
+		Insts: r.opts.Insts, Warmup: r.opts.Warmup,
 	}
-	if intALU > 0 {
-		m.FU.IntALU = intALU
-	}
-	return m
 }
 
 // result runs (or recalls) one simulation.
 func (r *Runner) result(bench string, scheme core.SchemeKind, deep bool, intALU int) (*core.Result, error) {
-	key := runKey{bench, scheme, deep, intALU}
-	r.mu.Lock()
-	res, ok := r.cache[key]
-	r.mu.Unlock()
-	if ok {
-		return res, nil
-	}
-	sim := core.NewSimulator(r.machine(deep, intALU))
-	if r.opts.Warmup > 0 {
-		sim.Warmup = r.opts.Warmup
-	}
-	res, err := sim.RunBenchmark(bench, scheme, r.opts.Insts)
+	key := r.key(bench, scheme, deep, intALU)
+	res, _, err := r.memo.Do(context.Background(), key, func(ctx context.Context) (*core.Result, error) {
+		return simrun.Run(ctx, key)
+	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%v: %w", bench, scheme, err)
 	}
-	r.mu.Lock()
-	r.cache[key] = res
-	r.mu.Unlock()
 	return res, nil
 }
 
 // prefetch simulates any uncached keys concurrently (bounded by the CPU
-// count). Results land in the memo cache; errors surface on the first
-// sequential use.
-func (r *Runner) prefetch(keys []runKey) {
+// count). Results land in the memo cache. The first failure is recorded
+// and returned, so a broken parallel pass surfaces immediately instead of
+// being silently re-executed sequentially.
+func (r *Runner) prefetch(keys []simrun.Key) error {
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
 	for _, key := range keys {
-		r.mu.Lock()
-		_, ok := r.cache[key]
-		r.mu.Unlock()
-		if ok {
+		if _, ok := r.memo.Get(key); ok {
 			continue
 		}
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(k runKey) {
+		go func(k simrun.Key) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			_, _ = r.result(k.bench, k.scheme, k.deep, k.intALU)
+			if _, err := r.result(k.Bench, k.Scheme, k.Deep, k.IntALU); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
 		}(key)
 	}
 	wg.Wait()
+	return firstErr
 }
 
 // suiteMeans computes the integer-suite and FP-suite means of a metric.
@@ -199,14 +186,16 @@ func (r *Runner) makeSeries(scheme string, vals map[string]float64) SchemeSeries
 // compareSchemes evaluates metric over the benchmarks for each scheme.
 func (r *Runner) compareSchemes(schemes []core.SchemeKind,
 	metric func(res, base *core.Result) float64) ([]SchemeSeries, error) {
-	var keys []runKey
+	var keys []simrun.Key
 	for _, b := range r.opts.Benchmarks {
-		keys = append(keys, runKey{b, core.SchemeNone, false, 0})
+		keys = append(keys, r.key(b, core.SchemeNone, false, 0))
 		for _, scheme := range schemes {
-			keys = append(keys, runKey{b, scheme, false, 0})
+			keys = append(keys, r.key(b, scheme, false, 0))
 		}
 	}
-	r.prefetch(keys)
+	if err := r.prefetch(keys); err != nil {
+		return nil, err
+	}
 	var out []SchemeSeries
 	for _, scheme := range schemes {
 		vals := make(map[string]float64, len(r.opts.Benchmarks))
@@ -345,11 +334,13 @@ func (r *Runner) Fig16() (*Comparison, error) {
 // Fig17 reproduces Figure 17: DCG total power savings on the 8-stage
 // versus the 20-stage pipeline.
 func (r *Runner) Fig17() (*Comparison, error) {
-	var keys []runKey
+	var keys []simrun.Key
 	for _, b := range r.opts.Benchmarks {
-		keys = append(keys, runKey{b, core.SchemeDCG, false, 0}, runKey{b, core.SchemeDCG, true, 0})
+		keys = append(keys, r.key(b, core.SchemeDCG, false, 0), r.key(b, core.SchemeDCG, true, 0))
 	}
-	r.prefetch(keys)
+	if err := r.prefetch(keys); err != nil {
+		return nil, err
+	}
 	var series []SchemeSeries
 	for _, deep := range []bool{false, true} {
 		vals := make(map[string]float64, len(r.opts.Benchmarks))
@@ -393,13 +384,15 @@ type ALUSweep struct {
 // Sec44ALUSweep runs the sweep.
 func (r *Runner) Sec44ALUSweep() (*ALUSweep, error) {
 	counts := []int{8, 6, 4}
-	var keys []runKey
+	var keys []simrun.Key
 	for _, n := range counts {
 		for _, b := range r.opts.Benchmarks {
-			keys = append(keys, runKey{b, core.SchemeNone, false, n})
+			keys = append(keys, r.key(b, core.SchemeNone, false, n))
 		}
 	}
-	r.prefetch(keys)
+	if err := r.prefetch(keys); err != nil {
+		return nil, err
+	}
 	perBench := make(map[int]map[string]float64)
 	for _, n := range counts {
 		vals := make(map[string]float64)

@@ -3,6 +3,9 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"dcg/internal/core"
+	"dcg/internal/simrun"
 )
 
 // fastRunner uses a reduced benchmark set and instruction budget so the
@@ -208,6 +211,21 @@ func TestTable1Renders(t *testing.T) {
 		if !strings.Contains(s, want) {
 			t.Errorf("Table 1 missing %q", want)
 		}
+	}
+}
+
+func TestPrefetchSurfacesErrors(t *testing.T) {
+	r := NewRunner(Options{Insts: 1000, Benchmarks: []string{"no-such-benchmark"}})
+	err := r.prefetch([]simrun.Key{r.key("no-such-benchmark", core.SchemeNone, false, 0)})
+	if err == nil {
+		t.Fatal("prefetch swallowed the simulation error")
+	}
+	if !strings.Contains(err.Error(), "no-such-benchmark") {
+		t.Errorf("error does not identify the failing run: %v", err)
+	}
+	// The figure harnesses must propagate the parallel pass's failure.
+	if _, err := r.Fig10(); err == nil {
+		t.Error("Fig10 ignored the prefetch failure")
 	}
 }
 

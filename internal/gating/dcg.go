@@ -2,6 +2,7 @@ package gating
 
 import (
 	"fmt"
+	"math/bits"
 
 	"dcg/internal/config"
 	"dcg/internal/cpu"
@@ -64,7 +65,8 @@ type DCG struct {
 	dportSched [schedHorizon]int
 	busSched   [schedHorizon]int
 
-	slots []int
+	// stages is the number of gatable back-end latch stages.
+	stages int
 
 	// prevMask tracks the previous cycle's enable masks to count
 	// clock-gate control toggles (the di/dt and control-power concern
@@ -115,9 +117,9 @@ func NewDCG(cfg config.Config) *DCG {
 // structure classes (for the contribution ablation).
 func NewDCGPartial(cfg config.Config, opts DCGOptions) *DCG {
 	return &DCG{
-		cfg:   cfg,
-		opts:  opts,
-		slots: make([]int, cfg.BackEndLatchStages()),
+		cfg:    cfg,
+		opts:   opts,
+		stages: cfg.BackEndLatchStages(),
 	}
 }
 
@@ -175,7 +177,9 @@ func (d *DCG) OnIssue(ev cpu.IssueEvent) {
 }
 
 // Gates implements power.Gater: it reads (and retires) this cycle's
-// schedule entries.
+// schedule entries. The returned GateState is owned by the caller: its
+// slices are freshly allocated each cycle and are never written again by
+// the controller, so consumers may retain GateStates across cycles.
 func (d *DCG) Gates(cycle uint64, u *cpu.Usage) power.GateState {
 	idx := cycle % schedHorizon
 
@@ -190,7 +194,7 @@ func (d *DCG) Gates(cycle uint64, u *cpu.Usage) power.GateState {
 	// Control toggle accounting (before any ablation override, since the
 	// control signals exist regardless).
 	for t, m := range [...]uint32{gs.IntALUMask, gs.IntMultMask, gs.FPALUMask, gs.FPMultMask} {
-		d.stats.ControlToggles += uint64(onesCount(m ^ d.prevMask[t]))
+		d.stats.ControlToggles += uint64(bits.OnesCount32(m ^ d.prevMask[t]))
 		d.prevMask[t] = m
 	}
 	if !d.opts.GateUnits {
@@ -216,15 +220,19 @@ func (d *DCG) Gates(cycle uint64, u *cpu.Usage) power.GateState {
 
 	// Latch slots: the piped one-hot encodings enable exactly the slots
 	// instructions flow through (the core's BackLatch vector is, by
-	// construction, the delayed issue/rename one-hot popcount).
+	// construction, the delayed issue/rename one-hot popcount). Copied
+	// into a fresh slice: u.BackLatch is the core's reused buffer, and
+	// aliasing the controller's own scratch here historically corrupted
+	// any GateState a consumer held past the cycle that produced it.
+	slots := make([]int, d.stages)
 	if d.opts.GateLatches {
-		copy(d.slots, u.BackLatch)
+		copy(slots, u.BackLatch)
 	} else {
-		for i := range d.slots {
-			d.slots[i] = d.cfg.IssueWidth
+		for i := range slots {
+			slots[i] = d.cfg.IssueWidth
 		}
 	}
-	gs.BackLatchSlots = d.slots
+	gs.BackLatchSlots = slots
 
 	gs.IssueQueueFrac = 1 // DCG leaves the issue queue to [6] (§2.2.2)
 	gs.ControlOverhead = true
@@ -246,16 +254,8 @@ func (d *DCG) Gates(cycle uint64, u *cpu.Usage) power.GateState {
 }
 
 func popcountAll(gs power.GateState) uint64 {
-	return uint64(onesCount(gs.IntALUMask) + onesCount(gs.IntMultMask) +
-		onesCount(gs.FPALUMask) + onesCount(gs.FPMultMask))
-}
-
-func onesCount(x uint32) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
-	}
-	return n
+	return uint64(bits.OnesCount32(gs.IntALUMask) + bits.OnesCount32(gs.IntMultMask) +
+		bits.OnesCount32(gs.FPALUMask) + bits.OnesCount32(gs.FPMultMask))
 }
 
 // Stats returns the controller's activity summary.

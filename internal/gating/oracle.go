@@ -23,7 +23,6 @@ type Oracle struct {
 	dcg *DCG
 	cfg config.Config
 
-	front []int
 	// fetchHist delays the fetch flow through the front-end stages.
 	fetchHist  []int
 	frontDepth int
@@ -35,7 +34,6 @@ func NewOracle(cfg config.Config) *Oracle {
 	return &Oracle{
 		dcg:        NewDCG(cfg),
 		cfg:        cfg,
-		front:      make([]int, depth),
 		fetchHist:  make([]int, depth),
 		frontDepth: depth,
 	}
@@ -63,11 +61,13 @@ func (o *Oracle) Gates(cycle uint64, u *cpu.Usage) power.GateState {
 	}
 
 	// Front-end latches: stage s carries the fetch flow delayed s cycles
-	// (oracle knowledge — a real design cannot know this in time).
+	// (oracle knowledge — a real design cannot know this in time). The
+	// returned slice is fresh each cycle: GateStates are caller-owned.
 	copy(o.fetchHist[1:], o.fetchHist[:o.frontDepth-1])
 	o.fetchHist[0] = u.FetchCount
-	copy(o.front, o.fetchHist)
-	gs.FrontLatchSlots = o.front
+	front := make([]int, o.frontDepth)
+	copy(front, o.fetchHist)
+	gs.FrontLatchSlots = front
 	return gs
 }
 

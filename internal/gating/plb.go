@@ -72,7 +72,8 @@ type PLB struct {
 	winIss  int
 	winFP   int
 
-	slots []int
+	// stages is the number of gatable back-end latch stages.
+	stages int
 
 	// oracle, when non-nil, replaces the trigger FSM: window w runs in
 	// mode oracle[w] (clamped to the last entry). Used by the
@@ -96,7 +97,7 @@ func NewPLB(cfg config.Config, params PLBParams, ext bool) *PLB {
 		params:     params,
 		ext:        ext,
 		mode:       Mode8,
-		slots:      make([]int, cfg.BackEndLatchStages()),
+		stages:     cfg.BackEndLatchStages(),
 		modeCycles: map[int]uint64{},
 	}
 }
@@ -255,15 +256,18 @@ func (p *PLB) Gates(cycle uint64, u *cpu.Usage) power.GateState {
 
 	gs.IssueQueueFrac = float64(p.mode) / float64(p.cfg.IssueWidth)
 
+	// GateStates are caller-owned: the slot vector is freshly allocated
+	// each cycle rather than aliasing controller scratch.
+	slots := make([]int, p.stages)
 	if p.ext {
-		for s := range p.slots {
+		for s := range slots {
 			n := p.mode
 			if s < len(u.BackLatch) && u.BackLatch[s] > n {
 				n = u.BackLatch[s] // drain
 			}
-			p.slots[s] = n
+			slots[s] = n
 		}
-		gs.BackLatchSlots = p.slots
+		gs.BackLatchSlots = slots
 		gs.DPortsOn = p.dports(p.mode)
 		if u.DPortUsed > gs.DPortsOn {
 			gs.DPortsOn = u.DPortUsed // drain
@@ -274,10 +278,10 @@ func (p *PLB) Gates(cycle uint64, u *cpu.Usage) power.GateState {
 		}
 	} else {
 		// PLB-orig gates only execution units and the issue queue.
-		for s := range p.slots {
-			p.slots[s] = p.cfg.IssueWidth
+		for s := range slots {
+			slots[s] = p.cfg.IssueWidth
 		}
-		gs.BackLatchSlots = p.slots
+		gs.BackLatchSlots = slots
 		gs.DPortsOn = p.cfg.DL1.Ports
 		gs.ResultBusOn = p.cfg.IssueWidth
 	}

@@ -10,6 +10,11 @@ import (
 // GateState is a gating scheme's per-cycle decision: which instances of
 // each gatable structure have their clock enabled this cycle. Everything
 // not represented here is always on.
+//
+// Ownership contract: a GateState returned by Gater.Gates belongs to the
+// caller. Schemes must never write to its slices after returning it, so
+// consumers may hold GateStates across cycles and compare them later (a
+// regression test in internal/gating enforces this for every scheme).
 type GateState struct {
 	// Enabled execution units, as bitmasks over unit indices.
 	IntALUMask  uint32
@@ -18,8 +23,7 @@ type GateState struct {
 	FPMultMask  uint32
 
 	// BackLatchSlots[s] is the number of enabled issue-slot latches in
-	// gatable latch stage s (stage 0 = rename latch). The slice is owned
-	// by the scheme and reused between cycles.
+	// gatable latch stage s (stage 0 = rename latch).
 	BackLatchSlots []int
 
 	// FrontLatchSlots, when non-nil, gates the front-end latch stages

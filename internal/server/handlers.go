@@ -1,0 +1,412 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"dcg/internal/core"
+	"dcg/internal/simrun"
+	"dcg/internal/workload"
+)
+
+// SimRequest is the wire form of one simulation request.
+type SimRequest struct {
+	// Benchmark is a built-in benchmark name (see /v1/benchmarks).
+	Benchmark string `json:"benchmark"`
+
+	// Scheme is "none", "dcg", "plb-orig" or "plb-ext" (default "dcg").
+	Scheme string `json:"scheme,omitempty"`
+
+	// Insts is the measured dynamic instruction count (default: the
+	// service's default_insts, capped at max_insts).
+	Insts uint64 `json:"insts,omitempty"`
+
+	// Deep selects the 20-stage pipeline of section 5.6.
+	Deep bool `json:"deep,omitempty"`
+
+	// IntALUs overrides the integer-ALU count when > 0 (section 4.4).
+	IntALUs int `json:"int_alus,omitempty"`
+
+	// Warmup is the functional warm-up length (0 = simulator default).
+	Warmup uint64 `json:"warmup,omitempty"`
+
+	// TimeoutMs bounds this request's simulation work; it can only
+	// shorten the service's default timeout.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+}
+
+// key canonicalises the request (after defaults) into a simulation key.
+func (s *Server) key(req *SimRequest) (simrun.Key, error) {
+	scheme := req.Scheme
+	if scheme == "" {
+		scheme = "dcg"
+	}
+	kind, err := core.ParseScheme(scheme)
+	if err != nil {
+		return simrun.Key{}, err
+	}
+	insts := req.Insts
+	if insts == 0 {
+		insts = s.cfg.DefaultInsts
+	}
+	k := simrun.Key{
+		Bench:  req.Benchmark,
+		Scheme: kind,
+		Deep:   req.Deep,
+		IntALU: req.IntALUs,
+		Insts:  insts,
+		Warmup: req.Warmup,
+	}
+	return k, s.validate(k)
+}
+
+// timeout resolves the effective deadline for a request.
+func (s *Server) timeout(req *SimRequest) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		if t := time.Duration(req.TimeoutMs) * time.Millisecond; t < d {
+			d = t
+		}
+	}
+	return d
+}
+
+// SimResponse is the wire form of one simulation result.
+type SimResponse struct {
+	Benchmark string `json:"benchmark"`
+	Scheme    string `json:"scheme"`
+	Insts     uint64 `json:"insts"`
+	Deep      bool   `json:"deep,omitempty"`
+	IntALUs   int    `json:"int_alus,omitempty"`
+
+	Cycles    uint64  `json:"cycles"`
+	Committed uint64  `json:"committed"`
+	IPC       float64 `json:"ipc"`
+
+	AvgPower      float64 `json:"avg_power"`
+	BaselinePower float64 `json:"baseline_power"`
+	Saving        float64 `json:"saving"`
+
+	Util struct {
+		IntUnits  float64 `json:"int_units"`
+		FPUnits   float64 `json:"fp_units"`
+		Latches   float64 `json:"latches"`
+		DPorts    float64 `json:"d_ports"`
+		ResultBus float64 `json:"result_bus"`
+	} `json:"utilization"`
+
+	BranchAccuracy float64 `json:"branch_accuracy"`
+	DL1MissRate    float64 `json:"dl1_miss_rate"`
+	L2MissRate     float64 `json:"l2_miss_rate"`
+
+	LeadViolations uint64 `json:"lead_violations"`
+	GateViolations uint64 `json:"gate_violations"`
+
+	// Source is how the request was served: "simulated" (this request
+	// ran the simulation), "coalesced" (shared an identical in-flight
+	// run) or "cache" (memoised result).
+	Source string `json:"source"`
+
+	// ElapsedMs is the wall time this request spent being served.
+	ElapsedMs float64 `json:"elapsed_ms"`
+
+	// Error is set on batch items that failed; successful responses
+	// leave it empty.
+	Error string `json:"error,omitempty"`
+}
+
+// fillResult copies a core.Result into the response.
+func (r *SimResponse) fillResult(res *core.Result) {
+	r.Cycles = res.Cycles
+	r.Committed = res.Committed
+	r.IPC = res.IPC
+	r.AvgPower = res.AvgPower
+	r.BaselinePower = res.BaselinePower
+	r.Saving = res.Saving
+	r.Util.IntUnits = res.Util.IntUnits
+	r.Util.FPUnits = res.Util.FPUnits
+	r.Util.Latches = res.Util.Latches
+	r.Util.DPorts = res.Util.DPorts
+	r.Util.ResultBus = res.Util.ResultBus
+	r.BranchAccuracy = res.BranchAccuracy
+	r.DL1MissRate = res.DL1MissRate
+	r.L2MissRate = res.L2MissRate
+	r.LeadViolations = res.LeadViolations
+	r.GateViolations = res.GateViolations
+}
+
+// BatchRequest fans one configuration out over benchmark x scheme.
+type BatchRequest struct {
+	// Benchmarks is an explicit list, or one of the suite selectors
+	// "all", "int", "fp" as a single element. Empty means "all".
+	Benchmarks []string `json:"benchmarks,omitempty"`
+
+	// Schemes lists gating schemes to run (default ["dcg"]).
+	Schemes []string `json:"schemes,omitempty"`
+
+	Insts     uint64 `json:"insts,omitempty"`
+	Deep      bool   `json:"deep,omitempty"`
+	IntALUs   int    `json:"int_alus,omitempty"`
+	Warmup    uint64 `json:"warmup,omitempty"`
+	TimeoutMs int64  `json:"timeout_ms,omitempty"`
+}
+
+// BatchResponse carries one entry per benchmark x scheme pair, in request
+// order; failed entries carry Error and zero metrics.
+type BatchResponse struct {
+	Results []SimResponse `json:"results"`
+}
+
+// routes wires the endpoint table.
+func (s *Server) routes() {
+	s.mux.HandleFunc("/v1/sim", s.handleSim)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metricz", s.handleMetricz)
+	s.mux.Handle("/debug/vars", expvar.Handler())
+}
+
+// handleSim serves one simulation. POST takes a SimRequest body; GET
+// takes the same fields as query parameters (benchmark, scheme, insts,
+// deep, int_alus, warmup, timeout_ms) for curl-ability.
+func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	var req SimRequest
+	switch r.Method {
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+	case http.MethodGet:
+		if err := simRequestFromQuery(r, &req); err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+	default:
+		s.fail(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+		return
+	}
+
+	key, err := s.key(&req)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(&req))
+	defer cancel()
+
+	start := time.Now()
+	res, outcome, err := s.simulate(ctx, key)
+	if err != nil {
+		s.fail(w, errStatus(err), err)
+		return
+	}
+	resp := responseFor(key, res, outcome, time.Since(start))
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleBatch fans a suite out across the worker pool and returns every
+// result. Item failures are reported per entry, not as a whole-batch
+// error, so one broken configuration does not discard completed work.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.metrics.requests.Add(1)
+	s.metrics.batches.Add(1)
+	if r.Method != http.MethodPost {
+		s.fail(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	benches, err := expandBenchmarks(req.Benchmarks)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	schemes := req.Schemes
+	if len(schemes) == 0 {
+		schemes = []string{"dcg"}
+	}
+
+	simReq := SimRequest{
+		Insts: req.Insts, Deep: req.Deep, IntALUs: req.IntALUs,
+		Warmup: req.Warmup, TimeoutMs: req.TimeoutMs,
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(&simReq))
+	defer cancel()
+
+	out := make([]SimResponse, len(benches)*len(schemes))
+	var wg sync.WaitGroup
+	for bi, bench := range benches {
+		for si, scheme := range schemes {
+			wg.Add(1)
+			go func(slot int, bench, scheme string) {
+				defer wg.Done()
+				itemReq := simReq
+				itemReq.Benchmark = bench
+				itemReq.Scheme = scheme
+				start := time.Now()
+				key, err := s.key(&itemReq)
+				if err != nil {
+					out[slot] = SimResponse{Benchmark: bench, Scheme: scheme, Error: err.Error()}
+					return
+				}
+				res, outcome, err := s.simulate(ctx, key)
+				if err != nil {
+					out[slot] = SimResponse{
+						Benchmark: bench, Scheme: key.Scheme.String(),
+						Insts: key.Insts, Deep: key.Deep, IntALUs: key.IntALU,
+						Error: err.Error(),
+					}
+					return
+				}
+				out[slot] = *responseFor(key, res, outcome, time.Since(start))
+			}(bi*len(schemes)+si, bench, scheme)
+		}
+	}
+	wg.Wait()
+	s.writeJSON(w, http.StatusOK, BatchResponse{Results: out})
+}
+
+// handleBenchmarks lists the workload and scheme vocabulary.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	var schemes []string
+	for _, k := range core.AllSchemes() {
+		schemes = append(schemes, k.String())
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"benchmarks": s.benchNames,
+		"int":        workload.IntNames(),
+		"fp":         workload.FPNames(),
+		"schemes":    schemes,
+	})
+}
+
+// handleHealthz reports liveness; a draining server answers 503 so load
+// balancers stop routing to it while in-flight work finishes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleMetricz exposes the server's own counters as JSON (the same data
+// is published under /debug/vars as expvar "dcgserve").
+func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+// responseFor assembles the success response body.
+func responseFor(k simrun.Key, res *core.Result, outcome simrun.Outcome, elapsed time.Duration) *SimResponse {
+	resp := &SimResponse{
+		Benchmark: k.Bench,
+		Scheme:    k.Scheme.String(),
+		Insts:     k.Insts,
+		Deep:      k.Deep,
+		IntALUs:   k.IntALU,
+		Source:    outcome.String(),
+		ElapsedMs: float64(elapsed.Microseconds()) / 1000,
+	}
+	resp.fillResult(res)
+	return resp
+}
+
+// simRequestFromQuery parses the GET form of /v1/sim.
+func simRequestFromQuery(r *http.Request, req *SimRequest) error {
+	q := r.URL.Query()
+	req.Benchmark = q.Get("benchmark")
+	if req.Benchmark == "" {
+		req.Benchmark = q.Get("bench")
+	}
+	req.Scheme = q.Get("scheme")
+	var err error
+	parseU64 := func(name string, dst *uint64) {
+		if v := q.Get(name); v != "" && err == nil {
+			*dst, err = strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				err = fmt.Errorf("bad %s %q", name, v)
+			}
+		}
+	}
+	parseU64("insts", &req.Insts)
+	parseU64("warmup", &req.Warmup)
+	if v := q.Get("int_alus"); v != "" && err == nil {
+		req.IntALUs, err = strconv.Atoi(v)
+		if err != nil {
+			err = fmt.Errorf("bad int_alus %q", v)
+		}
+	}
+	if v := q.Get("timeout_ms"); v != "" && err == nil {
+		req.TimeoutMs, err = strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			err = fmt.Errorf("bad timeout_ms %q", v)
+		}
+	}
+	if v := q.Get("deep"); v != "" && err == nil {
+		req.Deep, err = strconv.ParseBool(v)
+		if err != nil {
+			err = fmt.Errorf("bad deep %q", v)
+		}
+	}
+	return err
+}
+
+// expandBenchmarks resolves suite selectors to name lists.
+func expandBenchmarks(names []string) ([]string, error) {
+	if len(names) == 0 {
+		return workload.Names(), nil
+	}
+	if len(names) == 1 {
+		switch names[0] {
+		case "all":
+			return workload.Names(), nil
+		case "int":
+			return workload.IntNames(), nil
+		case "fp":
+			return workload.FPNames(), nil
+		}
+	}
+	return names, nil
+}
+
+// errStatus maps simulation errors to HTTP statuses.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for logs only.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// fail writes a JSON error body.
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.metrics.errors.Add(1)
+	s.writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeJSON writes a JSON response with the given status.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"expvar"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the server's own counter set. Everything is atomic so the
+// handlers never serialise on a stats lock.
+type metrics struct {
+	requests    atomic.Int64 // HTTP requests to /v1/sim and /v1/batch
+	batches     atomic.Int64 // /v1/batch requests
+	errors      atomic.Int64 // error responses written
+	simsRun     atomic.Int64 // simulations actually executed
+	activeSims  atomic.Int64 // simulations executing right now
+	cacheHits   atomic.Int64 // requests answered from the memo
+	cacheMisses atomic.Int64 // requests that ran (or tried to run) a sim
+	coalesced   atomic.Int64 // requests that shared an in-flight run
+}
+
+// Snapshot is a point-in-time copy of the service counters, served on
+// /metricz and published under the expvar key "dcgserve".
+type Snapshot struct {
+	UptimeSec   float64 `json:"uptime_sec"`
+	Draining    bool    `json:"draining"`
+	Workers     int     `json:"workers"`
+	Requests    int64   `json:"requests"`
+	Batches     int64   `json:"batches"`
+	Errors      int64   `json:"errors"`
+	SimsRun     int64   `json:"sims_run"`
+	ActiveSims  int64   `json:"active_sims"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	Coalesced   int64   `json:"coalesced"`
+	CacheSize   int     `json:"cache_size"`
+	Evictions   uint64  `json:"cache_evictions"`
+}
+
+// Snapshot collects the current counter values.
+func (s *Server) Snapshot() Snapshot {
+	cs := s.cache.Stats()
+	return Snapshot{
+		UptimeSec:   time.Since(s.startedAt).Seconds(),
+		Draining:    s.Draining(),
+		Workers:     s.cfg.Workers,
+		Requests:    s.metrics.requests.Load(),
+		Batches:     s.metrics.batches.Load(),
+		Errors:      s.metrics.errors.Load(),
+		SimsRun:     s.metrics.simsRun.Load(),
+		ActiveSims:  s.metrics.activeSims.Load(),
+		CacheHits:   s.metrics.cacheHits.Load(),
+		CacheMisses: s.metrics.cacheMisses.Load(),
+		Coalesced:   s.metrics.coalesced.Load(),
+		CacheSize:   cs.Resident,
+		Evictions:   cs.Evictions,
+	}
+}
+
+// expvar.Publish panics on duplicate registration, and tests construct
+// many Servers per process, so the "dcgserve" var is registered once and
+// always reads through a pointer to the most recently built server.
+var (
+	expvarOnce   sync.Once
+	expvarServer atomic.Pointer[Server]
+)
+
+func (s *Server) publishExpvar() {
+	expvarServer.Store(s)
+	expvarOnce.Do(func() {
+		expvar.Publish("dcgserve", expvar.Func(func() any {
+			if srv := expvarServer.Load(); srv != nil {
+				return srv.Snapshot()
+			}
+			return nil
+		}))
+	})
+}

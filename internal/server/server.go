@@ -1,0 +1,170 @@
+// Package server is the simulation-as-a-service layer: an HTTP/JSON
+// front end over the deterministic clock-gating simulator.
+//
+// Request handling is built from three pieces, all shared with the batch
+// experiment harnesses through internal/simrun:
+//
+//   - a bounded worker pool (sized from GOMAXPROCS) that caps how many
+//     simulations execute at once, however many requests are in flight;
+//   - request coalescing: concurrent requests for the same simulation key
+//     execute it exactly once and share the result (singleflight);
+//   - a sharded LRU memo over completed results, so repeat queries are
+//     answered without re-simulating.
+//
+// Every request carries a deadline; cancellation is threaded into the
+// simulator's cycle loop, so abandoned or timed-out requests stop burning
+// CPU within a few thousand simulated cycles. Shutdown is graceful:
+// Drain flips /healthz to draining (for load-balancer rotation) and
+// http.Server.Shutdown then waits for in-flight simulations to finish.
+//
+// See docs/SERVICE.md for the API reference.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"dcg/internal/core"
+	"dcg/internal/simrun"
+	"dcg/internal/workload"
+)
+
+// Config tunes the service. The zero value gets sensible defaults.
+type Config struct {
+	// Workers bounds concurrently executing simulations.
+	// Default: runtime.GOMAXPROCS(0).
+	Workers int
+
+	// CacheSize bounds the memoised result count (sharded LRU).
+	// Default 1024; negative means unbounded.
+	CacheSize int
+
+	// DefaultInsts is the instruction count used when a request omits
+	// one. Default 300_000 (the recorded-results configuration).
+	DefaultInsts uint64
+
+	// MaxInsts rejects requests asking for more than this many
+	// instructions. Default 5_000_000.
+	MaxInsts uint64
+
+	// DefaultTimeout bounds each request's simulation work when the
+	// request does not set its own (shorter) timeout_ms. Default 60s.
+	DefaultTimeout time.Duration
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.CacheSize < 0 {
+		c.CacheSize = 0 // unbounded, in simrun.NewCache terms
+	}
+	if c.DefaultInsts == 0 {
+		c.DefaultInsts = 300_000
+	}
+	if c.MaxInsts == 0 {
+		c.MaxInsts = 5_000_000
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// RunFunc executes one simulation. Production uses simrun.Run; tests
+// inject counting or blocking fakes.
+type RunFunc func(ctx context.Context, k simrun.Key) (*core.Result, error)
+
+// Server is the simulation service.
+type Server struct {
+	cfg   Config
+	run   RunFunc
+	cache *simrun.Cache
+	sem   chan struct{}
+	mux   *http.ServeMux
+
+	draining   atomic.Bool
+	metrics    metrics
+	startedAt  time.Time
+	benchNames []string
+}
+
+// New builds a Server with the production runner.
+func New(cfg Config) *Server { return NewWithRunner(cfg, simrun.Run) }
+
+// NewWithRunner builds a Server that executes simulations through run.
+func NewWithRunner(cfg Config, run RunFunc) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:        cfg,
+		run:        run,
+		cache:      simrun.NewCache(cfg.CacheSize),
+		sem:        make(chan struct{}, cfg.Workers),
+		mux:        http.NewServeMux(),
+		startedAt:  time.Now(),
+		benchNames: workload.Names(),
+	}
+	s.routes()
+	s.publishExpvar()
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain marks the server as draining: /healthz starts reporting 503 so
+// load balancers rotate the instance out, while in-flight and new
+// requests continue to be served until the HTTP server shuts down.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// simulate answers one simulation key through the memo cache, the
+// coalescing layer, and the bounded worker pool (in that order: cache
+// hits and coalesced waiters never occupy a worker slot).
+func (s *Server) simulate(ctx context.Context, k simrun.Key) (*core.Result, simrun.Outcome, error) {
+	res, outcome, err := s.cache.Do(ctx, k, func(ctx context.Context) (*core.Result, error) {
+		select {
+		case s.sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil, fmt.Errorf("server: queued waiting for a worker: %w", ctx.Err())
+		}
+		defer func() { <-s.sem }()
+		s.metrics.activeSims.Add(1)
+		defer s.metrics.activeSims.Add(-1)
+		s.metrics.simsRun.Add(1)
+		return s.run(ctx, k)
+	})
+	switch outcome {
+	case simrun.OutcomeHit:
+		s.metrics.cacheHits.Add(1)
+	case simrun.OutcomeCoalesced:
+		s.metrics.coalesced.Add(1)
+	default:
+		s.metrics.cacheMisses.Add(1)
+	}
+	return res, outcome, err
+}
+
+// validate checks a key against the service limits before simulating.
+func (s *Server) validate(k simrun.Key) error {
+	if _, ok := workload.ByName(k.Bench); !ok {
+		return fmt.Errorf("unknown benchmark %q", k.Bench)
+	}
+	if k.Insts > s.cfg.MaxInsts {
+		return fmt.Errorf("insts %d exceeds the service limit %d", k.Insts, s.cfg.MaxInsts)
+	}
+	if k.IntALU < 0 || k.IntALU > 32 {
+		return fmt.Errorf("int_alus %d out of range [0, 32]", k.IntALU)
+	}
+	return nil
+}

@@ -1,0 +1,483 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dcg/internal/core"
+	"dcg/internal/simrun"
+)
+
+// fakeResult is what the injected runners return; only identity matters.
+func fakeResult(k simrun.Key) *core.Result {
+	return &core.Result{Benchmark: k.Bench, Scheme: k.Scheme.String(), Cycles: 1234, Committed: k.Insts, IPC: 2.5}
+}
+
+// countingRunner counts executions and can block until released.
+type countingRunner struct {
+	runs    atomic.Int64
+	release chan struct{} // nil: return immediately
+}
+
+func (c *countingRunner) run(ctx context.Context, k simrun.Key) (*core.Result, error) {
+	c.runs.Add(1)
+	if c.release != nil {
+		select {
+		case <-c.release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	return fakeResult(k), nil
+}
+
+func postSim(t *testing.T, ts *httptest.Server, req SimRequest) (*http.Response, SimResponse) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := ts.Client().Post(ts.URL+"/v1/sim", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out SimResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("bad response body: %v", err)
+		}
+	}
+	return resp, out
+}
+
+// TestConcurrentIdenticalRequestsCoalesce is the acceptance test: 32+
+// concurrent identical requests must trigger exactly one underlying
+// simulation, with every request getting the full result.
+func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
+	cr := &countingRunner{release: make(chan struct{})}
+	s := NewWithRunner(Config{Workers: 4}, cr.run)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 40
+	var wg sync.WaitGroup
+	var ok atomic.Int64
+	results := make([]SimResponse, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, out := postSim(t, ts, SimRequest{Benchmark: "gzip", Scheme: "dcg", Insts: 50_000})
+			if resp.StatusCode == http.StatusOK {
+				ok.Add(1)
+				results[i] = out
+			}
+		}(i)
+	}
+	// Let the requests pile up on the single in-flight run, then release.
+	deadline := time.Now().Add(5 * time.Second)
+	for cr.runs.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(cr.release)
+	wg.Wait()
+
+	if got := cr.runs.Load(); got != 1 {
+		t.Fatalf("%d concurrent identical requests ran %d simulations, want exactly 1", n, got)
+	}
+	if ok.Load() != n {
+		t.Fatalf("only %d/%d requests succeeded", ok.Load(), n)
+	}
+	for i, r := range results {
+		if r.Cycles != 1234 || r.Benchmark != "gzip" {
+			t.Fatalf("request %d got wrong result: %+v", i, r)
+		}
+	}
+	snap := s.Snapshot()
+	if snap.SimsRun != 1 {
+		t.Errorf("metrics report %d sims run, want 1", snap.SimsRun)
+	}
+	if snap.Coalesced+snap.CacheHits != n-1 {
+		t.Errorf("coalesced %d + hits %d, want %d followers accounted for",
+			snap.Coalesced, snap.CacheHits, n-1)
+	}
+}
+
+// TestCacheHitDoesNotResimulate: a repeat of a completed request must be
+// answered from the memo.
+func TestCacheHitDoesNotResimulate(t *testing.T) {
+	cr := &countingRunner{}
+	s := NewWithRunner(Config{}, cr.run)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := SimRequest{Benchmark: "mcf", Scheme: "none", Insts: 10_000}
+	if resp, out := postSim(t, ts, req); resp.StatusCode != http.StatusOK || out.Source != "simulated" {
+		t.Fatalf("first request: status %d source %q", resp.StatusCode, out.Source)
+	}
+	resp, out := postSim(t, ts, req)
+	if resp.StatusCode != http.StatusOK || out.Source != "cache" {
+		t.Fatalf("repeat request: status %d source %q, want cache hit", resp.StatusCode, out.Source)
+	}
+	if cr.runs.Load() != 1 {
+		t.Fatalf("repeat request re-simulated: %d runs", cr.runs.Load())
+	}
+	// A different key must miss.
+	if _, out := postSim(t, ts, SimRequest{Benchmark: "mcf", Scheme: "dcg", Insts: 10_000}); out.Source != "simulated" {
+		t.Fatalf("different scheme served from cache: source %q", out.Source)
+	}
+}
+
+// TestRequestTimeoutReturns504: a request whose deadline expires while
+// the simulation runs gets a gateway-timeout, and the runner sees the
+// cancellation.
+func TestRequestTimeoutReturns504(t *testing.T) {
+	cr := &countingRunner{release: make(chan struct{})} // never released
+	defer close(cr.release)
+	s := NewWithRunner(Config{}, cr.run)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, _ := postSim(t, ts, SimRequest{Benchmark: "gzip", TimeoutMs: 30})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", resp.StatusCode)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	s := NewWithRunner(Config{MaxInsts: 100_000}, (&countingRunner{}).run)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		req  SimRequest
+		want string
+	}{
+		{"unknown benchmark", SimRequest{Benchmark: "quake3"}, "unknown benchmark"},
+		{"unknown scheme", SimRequest{Benchmark: "gzip", Scheme: "psychic"}, "unknown scheme"},
+		{"insts over limit", SimRequest{Benchmark: "gzip", Insts: 1_000_000}, "exceeds"},
+		{"alu out of range", SimRequest{Benchmark: "gzip", Insts: 10_000, IntALUs: 99}, "out of range"},
+	}
+	for _, tc := range cases {
+		body, _ := json.Marshal(tc.req)
+		resp, err := ts.Client().Post(ts.URL+"/v1/sim", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+		if !strings.Contains(e.Error, tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, e.Error, tc.want)
+		}
+	}
+
+	// Malformed JSON.
+	resp, err := ts.Client().Post(ts.URL+"/v1/sim", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSimGetForm(t *testing.T) {
+	cr := &countingRunner{}
+	s := NewWithRunner(Config{}, cr.run)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/sim?benchmark=gzip&scheme=plb-ext&insts=20000&deep=true&int_alus=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out SimResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Scheme != "plb-ext" || out.Insts != 20000 || !out.Deep || out.IntALUs != 4 {
+		t.Fatalf("GET form mis-parsed: %+v", out)
+	}
+}
+
+func TestBatchFanOut(t *testing.T) {
+	cr := &countingRunner{}
+	s := NewWithRunner(Config{Workers: 2}, cr.run)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(BatchRequest{
+		Benchmarks: []string{"gzip", "mcf", "nosuch"},
+		Schemes:    []string{"dcg", "none"},
+		Insts:      10_000,
+	})
+	resp, err := ts.Client().Post(ts.URL+"/v1/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var out BatchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 6 {
+		t.Fatalf("results = %d, want 6", len(out.Results))
+	}
+	// Ordering: benchmark-major, scheme-minor.
+	if out.Results[0].Benchmark != "gzip" || out.Results[0].Scheme != "dcg" ||
+		out.Results[1].Scheme != "none" || out.Results[2].Benchmark != "mcf" {
+		t.Fatalf("batch ordering wrong: %+v", out.Results)
+	}
+	for i := 0; i < 4; i++ {
+		if out.Results[i].Error != "" || out.Results[i].Cycles == 0 {
+			t.Errorf("result %d failed: %+v", i, out.Results[i])
+		}
+	}
+	// The bogus benchmark fails per-item without sinking the batch.
+	for i := 4; i < 6; i++ {
+		if !strings.Contains(out.Results[i].Error, "unknown benchmark") {
+			t.Errorf("result %d error = %q, want per-item failure", i, out.Results[i].Error)
+		}
+	}
+	if got := cr.runs.Load(); got != 4 {
+		t.Errorf("%d sims ran, want 4", got)
+	}
+}
+
+// TestBatchSuiteSelectors checks "int"/"fp"/empty expansion.
+func TestBatchSuiteSelectors(t *testing.T) {
+	names, err := expandBenchmarks(nil)
+	if err != nil || len(names) == 0 {
+		t.Fatalf("empty selector: %v %v", names, err)
+	}
+	intNames, _ := expandBenchmarks([]string{"int"})
+	fpNames, _ := expandBenchmarks([]string{"fp"})
+	if len(intNames)+len(fpNames) != len(names) {
+		t.Errorf("int (%d) + fp (%d) != all (%d)", len(intNames), len(fpNames), len(names))
+	}
+	explicit, _ := expandBenchmarks([]string{"gzip", "mcf"})
+	if len(explicit) != 2 {
+		t.Errorf("explicit list mangled: %v", explicit)
+	}
+}
+
+func TestHealthzAndDrain(t *testing.T) {
+	s := NewWithRunner(Config{}, (&countingRunner{}).run)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy server: status %d", resp.StatusCode)
+	}
+
+	s.Drain()
+	resp, err = ts.Client().Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining server: status %d, want 503", resp.StatusCode)
+	}
+
+	// Draining rotates the instance out but keeps serving requests.
+	if resp, out := postSim(t, ts, SimRequest{Benchmark: "gzip", Insts: 1000}); resp.StatusCode != http.StatusOK || out.Cycles == 0 {
+		t.Fatalf("draining server refused work: status %d", resp.StatusCode)
+	}
+}
+
+func TestBenchmarksEndpoint(t *testing.T) {
+	s := NewWithRunner(Config{}, (&countingRunner{}).run)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/benchmarks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Benchmarks []string `json:"benchmarks"`
+		Schemes    []string `json:"schemes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Benchmarks) == 0 || len(out.Schemes) != 4 {
+		t.Fatalf("vocabulary wrong: %d benchmarks, %d schemes", len(out.Benchmarks), len(out.Schemes))
+	}
+}
+
+func TestMetricz(t *testing.T) {
+	s := NewWithRunner(Config{Workers: 3}, (&countingRunner{}).run)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	postSim(t, ts, SimRequest{Benchmark: "gzip", Insts: 1000})
+	postSim(t, ts, SimRequest{Benchmark: "gzip", Insts: 1000})
+
+	resp, err := ts.Client().Get(ts.URL + "/metricz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Workers != 3 || snap.SimsRun != 1 || snap.CacheHits != 1 || snap.Requests < 2 {
+		t.Fatalf("snapshot wrong: %+v", snap)
+	}
+}
+
+// TestWorkerPoolBoundsConcurrency: with W workers and many distinct keys,
+// at most W simulations execute at once.
+func TestWorkerPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var active, peak atomic.Int64
+	release := make(chan struct{})
+	run := func(ctx context.Context, k simrun.Key) (*core.Result, error) {
+		n := active.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer active.Add(-1)
+		select {
+		case <-release:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		return fakeResult(k), nil
+	}
+	s := NewWithRunner(Config{Workers: workers}, run)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const n = 12
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Distinct keys so nothing coalesces.
+			postSim(t, ts, SimRequest{Benchmark: "gzip", Insts: uint64(1000 + i)})
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for active.Load() < workers && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent simulations, pool bound is %d", p, workers)
+	}
+}
+
+// TestRealSimulationSmoke runs the production runner end to end through
+// the HTTP layer on a tiny instruction budget.
+func TestRealSimulationSmoke(t *testing.T) {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, out := postSim(t, ts, SimRequest{Benchmark: "gzip", Scheme: "dcg", Insts: 3000, Warmup: 1000})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if out.Committed == 0 || out.Cycles == 0 || out.IPC <= 0 {
+		t.Fatalf("degenerate result: %+v", out)
+	}
+	if out.Saving <= 0 || out.Saving >= 1 {
+		t.Errorf("DCG saving %.3f out of (0,1)", out.Saving)
+	}
+	if out.LeadViolations != 0 {
+		t.Errorf("lead violations = %d", out.LeadViolations)
+	}
+	if out.Source != "simulated" {
+		t.Errorf("source = %q", out.Source)
+	}
+}
+
+// TestExpvarPublishSurvivesManyServers guards the once-only expvar
+// registration: constructing many servers must not panic, and the
+// published var must track the newest server.
+func TestExpvarPublishSurvivesManyServers(t *testing.T) {
+	for i := 0; i < 3; i++ {
+		s := NewWithRunner(Config{Workers: i + 5}, (&countingRunner{}).run)
+		if got := expvarServer.Load(); got != s {
+			t.Fatalf("expvar pointer not tracking newest server (iteration %d)", i)
+		}
+	}
+}
+
+func TestTimeoutResolution(t *testing.T) {
+	s := NewWithRunner(Config{DefaultTimeout: time.Second}, (&countingRunner{}).run)
+	if d := s.timeout(&SimRequest{}); d != time.Second {
+		t.Errorf("default timeout = %v", d)
+	}
+	if d := s.timeout(&SimRequest{TimeoutMs: 100}); d != 100*time.Millisecond {
+		t.Errorf("short override = %v", d)
+	}
+	// A request cannot extend the service bound.
+	if d := s.timeout(&SimRequest{TimeoutMs: 10_000}); d != time.Second {
+		t.Errorf("long override = %v, want clamped to 1s", d)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	s := NewWithRunner(Config{}, (&countingRunner{}).run)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sim", nil)
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("DELETE /v1/sim: status %d, want 405", resp.StatusCode)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/v1/batch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/batch: status %d, want 405", resp.StatusCode)
+	}
+}

@@ -1,0 +1,190 @@
+package simrun
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"dcg/internal/core"
+)
+
+// Outcome classifies how a Do call was served.
+type Outcome int
+
+const (
+	// OutcomeMiss: this call executed the simulation itself.
+	OutcomeMiss Outcome = iota
+	// OutcomeHit: the result was already memoised.
+	OutcomeHit
+	// OutcomeCoalesced: an identical run was already in flight; this call
+	// waited for it instead of re-simulating.
+	OutcomeCoalesced
+)
+
+// String names the outcome for logs and responses.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeHit:
+		return "cache"
+	case OutcomeCoalesced:
+		return "coalesced"
+	default:
+		return "simulated"
+	}
+}
+
+// shardCount is the number of independent cache shards; a power of two so
+// shard selection is a mask. 16 comfortably exceeds the worker-pool sizes
+// the serving layer runs with, keeping lock contention negligible.
+const shardCount = 16
+
+// Cache is a sharded, request-coalescing LRU memo over simulation
+// results. Concurrent Do calls with equal keys execute the run exactly
+// once (singleflight); completed results are retained up to the capacity
+// with per-shard least-recently-used eviction. All methods are safe for
+// concurrent use.
+type Cache struct {
+	shards   [shardCount]shard
+	capShard int // max resident entries per shard; 0 = unbounded
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	coalesced atomic.Uint64
+	evictions atomic.Uint64
+}
+
+type shard struct {
+	mu      sync.Mutex
+	entries map[Key]*list.Element // resident results, value = *entry
+	order   list.List             // front = most recently used
+	flight  map[Key]*flight
+}
+
+// entry is one resident cache value.
+type entry struct {
+	key Key
+	res *core.Result
+}
+
+// flight is one in-progress run; followers wait on done.
+type flight struct {
+	done chan struct{}
+	res  *core.Result
+	err  error
+}
+
+// NewCache builds a cache holding up to capacity completed results
+// (capacity <= 0 means unbounded — the batch experiments' configuration).
+// The bound is enforced per shard, so the effective capacity is rounded up
+// to a multiple of the shard count.
+func NewCache(capacity int) *Cache {
+	c := &Cache{}
+	if capacity > 0 {
+		c.capShard = (capacity + shardCount - 1) / shardCount
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[Key]*list.Element)
+		c.shards[i].flight = make(map[Key]*flight)
+		c.shards[i].order.Init()
+	}
+	return c
+}
+
+func (c *Cache) shard(k Key) *shard {
+	return &c.shards[k.hash()&(shardCount-1)]
+}
+
+// Do returns the memoised result for key, executing fn at most once per
+// key across all concurrent callers. A caller that finds an identical run
+// in flight waits for it (or for its own context) instead of re-running.
+// Errors are returned to every waiter of the failed attempt but are not
+// cached: the next Do retries.
+//
+// The executing caller's context drives the run; if it is canceled, its
+// waiters receive the cancellation error and a later Do re-executes.
+func (c *Cache) Do(ctx context.Context, key Key, fn func(context.Context) (*core.Result, error)) (*core.Result, Outcome, error) {
+	s := c.shard(key)
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return el.Value.(*entry).res, OutcomeHit, nil
+	}
+	if f, ok := s.flight[key]; ok {
+		s.mu.Unlock()
+		c.coalesced.Add(1)
+		select {
+		case <-f.done:
+			return f.res, OutcomeCoalesced, f.err
+		case <-ctx.Done():
+			return nil, OutcomeCoalesced, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flight[key] = f
+	s.mu.Unlock()
+	c.misses.Add(1)
+
+	f.res, f.err = fn(ctx)
+
+	s.mu.Lock()
+	delete(s.flight, key)
+	if f.err == nil {
+		s.entries[key] = s.order.PushFront(&entry{key: key, res: f.res})
+		if c.capShard > 0 && s.order.Len() > c.capShard {
+			oldest := s.order.Back()
+			s.order.Remove(oldest)
+			delete(s.entries, oldest.Value.(*entry).key)
+			c.evictions.Add(1)
+		}
+	}
+	s.mu.Unlock()
+	close(f.done)
+	return f.res, OutcomeMiss, f.err
+}
+
+// Get returns the memoised result for key without executing anything.
+func (c *Cache) Get(key Key) (*core.Result, bool) {
+	s := c.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
+		s.order.MoveToFront(el)
+		return el.Value.(*entry).res, true
+	}
+	return nil, false
+}
+
+// Len returns the number of resident results.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		n += s.order.Len()
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats is a snapshot of the cache's activity counters.
+type Stats struct {
+	Hits      uint64 // served from the resident cache
+	Misses    uint64 // executed a simulation
+	Coalesced uint64 // waited on an identical in-flight run
+	Evictions uint64 // resident results dropped by the LRU bound
+	Resident  int    // results currently cached
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Resident:  c.Len(),
+	}
+}

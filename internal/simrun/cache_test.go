@@ -1,0 +1,225 @@
+package simrun
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dcg/internal/core"
+)
+
+// fakeResult builds a distinguishable placeholder result.
+func fakeResult(k Key) *core.Result {
+	return &core.Result{Benchmark: k.Bench, Scheme: k.Scheme.String(), Cycles: k.Insts}
+}
+
+func TestDoMemoises(t *testing.T) {
+	c := NewCache(0)
+	key := Key{Bench: "gzip", Scheme: core.SchemeDCG, Insts: 1000}
+	var runs atomic.Int32
+	fn := func(context.Context) (*core.Result, error) {
+		runs.Add(1)
+		return fakeResult(key), nil
+	}
+	res, out, err := c.Do(context.Background(), key, fn)
+	if err != nil || out != OutcomeMiss || res == nil {
+		t.Fatalf("first Do: res=%v outcome=%v err=%v", res, out, err)
+	}
+	res2, out, err := c.Do(context.Background(), key, fn)
+	if err != nil || out != OutcomeHit {
+		t.Fatalf("second Do: outcome=%v err=%v", out, err)
+	}
+	if res2 != res {
+		t.Error("cache hit returned a different result pointer")
+	}
+	if n := runs.Load(); n != 1 {
+		t.Errorf("fn ran %d times, want 1", n)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 || st.Resident != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDoCoalescesConcurrentIdenticalRequests(t *testing.T) {
+	const waiters = 64
+	c := NewCache(0)
+	key := Key{Bench: "mcf", Scheme: core.SchemeDCG, Insts: 5000}
+
+	var runs atomic.Int32
+	release := make(chan struct{})
+	started := make(chan struct{})
+	fn := func(context.Context) (*core.Result, error) {
+		runs.Add(1)
+		close(started)
+		<-release
+		return fakeResult(key), nil
+	}
+
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, waiters)
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, outcomes[i], errs[i] = c.Do(context.Background(), key, fn)
+		}(i)
+	}
+	<-started
+	// Give the remaining goroutines time to register as followers, then
+	// let the single leader finish.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("fn ran %d times for %d identical requests, want exactly 1", n, waiters)
+	}
+	var miss, coal, hit int
+	for i := range outcomes {
+		if errs[i] != nil {
+			t.Fatalf("waiter %d: %v", i, errs[i])
+		}
+		switch outcomes[i] {
+		case OutcomeMiss:
+			miss++
+		case OutcomeCoalesced:
+			coal++
+		case OutcomeHit:
+			hit++
+		}
+	}
+	if miss != 1 {
+		t.Errorf("misses = %d, want 1 (coalesced %d, hits %d)", miss, coal, hit)
+	}
+	if coal+hit != waiters-1 {
+		t.Errorf("coalesced %d + hits %d != %d", coal, hit, waiters-1)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := NewCache(0)
+	key := Key{Bench: "gcc", Scheme: core.SchemeNone, Insts: 100}
+	boom := errors.New("boom")
+	calls := 0
+	fn := func(context.Context) (*core.Result, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return fakeResult(key), nil
+	}
+	if _, _, err := c.Do(context.Background(), key, fn); !errors.Is(err, boom) {
+		t.Fatalf("first Do err = %v, want boom", err)
+	}
+	if st := c.Stats(); st.Resident != 0 {
+		t.Fatalf("failed run was cached: %+v", st)
+	}
+	res, out, err := c.Do(context.Background(), key, fn)
+	if err != nil || res == nil || out != OutcomeMiss {
+		t.Fatalf("retry: res=%v outcome=%v err=%v", res, out, err)
+	}
+}
+
+func TestLRUEvictionBoundsResidency(t *testing.T) {
+	c := NewCache(1) // one entry per shard
+	for i := 0; i < 200; i++ {
+		key := Key{Bench: fmt.Sprintf("b%03d", i), Scheme: core.SchemeDCG, Insts: uint64(i)}
+		if _, _, err := c.Do(context.Background(), key, func(context.Context) (*core.Result, error) {
+			return fakeResult(key), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Resident > shardCount {
+		t.Errorf("resident %d exceeds capacity bound %d", st.Resident, shardCount)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions recorded after overflowing the capacity")
+	}
+}
+
+func TestCoalescedWaiterHonoursItsOwnContext(t *testing.T) {
+	c := NewCache(0)
+	key := Key{Bench: "art", Scheme: core.SchemeDCG, Insts: 1}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go c.Do(context.Background(), key, func(context.Context) (*core.Result, error) {
+		close(started)
+		<-release
+		return fakeResult(key), nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, out, err := c.Do(ctx, key, nil) // fn unused: the run is in flight
+	if !errors.Is(err, context.Canceled) || out != OutcomeCoalesced {
+		t.Errorf("canceled waiter: outcome=%v err=%v", out, err)
+	}
+	close(release)
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	c := NewCache(8)
+	keys := make([]Key, 24)
+	for i := range keys {
+		keys[i] = Key{Bench: fmt.Sprintf("k%d", i), Scheme: core.SchemeKind(i % 4), Insts: uint64(i)}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := keys[(g*7+i)%len(keys)]
+				res, _, err := c.Do(context.Background(), k, func(context.Context) (*core.Result, error) {
+					return fakeResult(k), nil
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Benchmark != k.Bench {
+					t.Errorf("got result for %q, want %q", res.Benchmark, k.Bench)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestRunExecutesRealSimulation(t *testing.T) {
+	key := Key{Bench: "gzip", Scheme: core.SchemeDCG, Insts: 3000, Warmup: 1000}
+	res, err := Run(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed == 0 || res.Saving <= 0 {
+		t.Errorf("implausible result: committed=%d saving=%f", res.Committed, res.Saving)
+	}
+}
+
+func TestRunHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(ctx, Key{Bench: "gzip", Scheme: core.SchemeDCG, Insts: 100_000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestKeyMachineOverrides(t *testing.T) {
+	if m := (Key{IntALU: 4}).Machine(); m.FU.IntALU != 4 {
+		t.Errorf("IntALU override ignored: %d", m.FU.IntALU)
+	}
+	if m := (Key{Deep: true}).Machine(); m.Pipeline.Depth <= 8 {
+		t.Errorf("deep machine depth = %d", m.Pipeline.Depth)
+	}
+}

@@ -1,0 +1,86 @@
+// Package simrun is the shared simulation-run layer: a canonical key
+// identifying one deterministic simulation, an executor that runs it, and
+// a sharded, request-coalescing LRU cache over completed results.
+//
+// Both batch users (internal/experiments' figure harnesses) and the
+// serving layer (internal/server) memoise runs through this package, so a
+// simulation configuration is only ever executed once per process no
+// matter how many experiments or concurrent requests ask for it.
+package simrun
+
+import (
+	"context"
+
+	"dcg/internal/config"
+	"dcg/internal/core"
+)
+
+// Key identifies one deterministic simulation run. Two runs with equal
+// keys produce identical Results (the simulator is fully deterministic),
+// which is what makes memoisation and request coalescing sound.
+type Key struct {
+	// Bench is the built-in benchmark name.
+	Bench string
+
+	// Scheme is the clock-gating methodology.
+	Scheme core.SchemeKind
+
+	// Deep selects the 20-stage pipeline of section 5.6.
+	Deep bool
+
+	// IntALU overrides the integer-ALU count when > 0 (section 4.4 sweep).
+	IntALU int
+
+	// Insts is the measured dynamic instruction count.
+	Insts uint64
+
+	// Warmup is the functional warm-up length (0 = simulator default).
+	Warmup uint64
+}
+
+// Machine returns the processor configuration the key selects.
+func (k Key) Machine() config.Config {
+	m := config.Default()
+	if k.Deep {
+		m = config.Deep()
+	}
+	if k.IntALU > 0 {
+		m.FU.IntALU = k.IntALU
+	}
+	return m
+}
+
+// hash mixes every field FNV-1a style; the cache uses it to pick a shard.
+func (k Key) hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(k.Bench); i++ {
+		h ^= uint64(k.Bench[i])
+		h *= prime
+	}
+	deep := uint64(0)
+	if k.Deep {
+		deep = 1
+	}
+	for _, v := range [...]uint64{uint64(k.Scheme), deep, uint64(k.IntALU), k.Insts, k.Warmup} {
+		for s := 0; s < 64; s += 8 {
+			h ^= (v >> s) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// Run executes the simulation the key identifies. The context is threaded
+// into the cycle loop: cancellation aborts the run within a few thousand
+// simulated cycles.
+func Run(ctx context.Context, k Key) (*core.Result, error) {
+	sim := core.NewSimulator(k.Machine())
+	if k.Warmup > 0 {
+		sim.Warmup = k.Warmup
+	}
+	return sim.RunBenchmarkContext(ctx, k.Bench, k.Scheme, k.Insts)
+}
