@@ -4,11 +4,13 @@
 #                  detector (includes the server/simrun concurrency tests)
 #   make test    - fast suite, no race detector
 #   make bench   - the per-figure and substrate micro-benchmarks
+#   make bench-json - the same benchmarks as machine-readable JSON
+#                  (BENCH_baseline.json holds a committed -benchtime=1x run)
 #   make serve   - run the simulation service locally
 
 GO ?= go
 
-.PHONY: check vet test race bench build serve
+.PHONY: check vet test race bench bench-json build serve
 
 check: vet race
 
@@ -26,6 +28,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+bench-json:
+	$(GO) test -bench=. -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchjson
 
 serve:
 	$(GO) run ./cmd/dcgserve

@@ -305,3 +305,42 @@ func BenchmarkDCGRun(b *testing.B) {
 		b.ReportMetric(100*res.Saving, "save%")
 	}
 }
+
+// ---- Capture-once / replay-many ----
+
+// BenchmarkCaptureTiming measures the capture side of the split: one core
+// timing simulation recording its per-cycle usage trace. The trace size
+// is reported so the timing cache's residency cost is visible.
+func BenchmarkCaptureTiming(b *testing.B) {
+	sim := core.NewSimulator(core.DefaultMachine())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm, err := sim.CaptureBenchmark("swim", benchInsts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(tm.Trace.SizeBytes()), "trace-B")
+		b.ReportMetric(float64(tm.Trace.Cycles()), "cycles")
+	}
+}
+
+// BenchmarkReplayEvaluate measures the replay side: evaluating the DCG
+// scheme by streaming a captured trace through the gating controller and
+// power accountant, with no core timing work. Compare per-op time against
+// BenchmarkDCGRun (the same evaluation done the direct way) for the
+// capture-once/replay-many speedup.
+func BenchmarkReplayEvaluate(b *testing.B) {
+	sim := core.NewSimulator(core.DefaultMachine())
+	tm, err := sim.CaptureBenchmark("swim", benchInsts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.EvaluateTiming(tm, core.SchemeDCG)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*res.Saving, "save%")
+	}
+}

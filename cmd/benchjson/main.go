@@ -1,0 +1,126 @@
+// Command benchjson converts `go test -bench` text output into JSON, so
+// benchmark numbers can be committed, diffed, and consumed by tooling.
+//
+// Usage:
+//
+//	go test -bench=. -benchmem -run='^$' ./... | benchjson > BENCH.json
+//	make bench-json
+//
+// Each benchmark line ("BenchmarkName  N  v1 unit1  v2 unit2 ...")
+// becomes one entry with its iteration count and a unit → value metric
+// map; the goos/goarch/cpu/pkg header lines are carried through once.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name without the "Benchmark" prefix, with
+	// any -N GOMAXPROCS suffix retained (it distinguishes parallel runs).
+	Name string `json:"name"`
+
+	// Pkg is the package the benchmark came from (the most recent "pkg:"
+	// header line).
+	Pkg string `json:"pkg,omitempty"`
+
+	// Iterations is b.N for the reported measurement.
+	Iterations int64 `json:"iterations"`
+
+	// Metrics maps unit → value for every "value unit" pair on the line
+	// (ns/op, B/op, allocs/op, and any b.ReportMetric custom units).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the full converted output.
+type Report struct {
+	GOOS       string      `json:"goos,omitempty"`
+	GOARCH     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	rep, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parse consumes `go test -bench` output line by line.
+func parse(sc *bufio.Scanner) (*Report, error) {
+	rep := &Report{}
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			rep.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			rep.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			rep.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseBenchLine(line, pkg)
+			if err != nil {
+				return nil, err
+			}
+			if b != nil {
+				rep.Benchmarks = append(rep.Benchmarks, *b)
+			}
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseBenchLine parses one "BenchmarkX  N  v1 u1  v2 u2 ..." line.
+// Lines without an iteration count (e.g. a bare "BenchmarkX" printed
+// before a failure) are skipped rather than treated as errors.
+func parseBenchLine(line, pkg string) (*Benchmark, error) {
+	f := strings.Fields(line)
+	if len(f) < 2 {
+		return nil, nil
+	}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return nil, nil // "BenchmarkX ... FAIL" and similar
+	}
+	b := &Benchmark{
+		Name:       strings.TrimPrefix(f[0], "Benchmark"),
+		Pkg:        pkg,
+		Iterations: n,
+		Metrics:    make(map[string]float64),
+	}
+	// The remainder is value/unit pairs.
+	rest := f[2:]
+	if len(rest)%2 != 0 {
+		return nil, fmt.Errorf("odd value/unit list in %q", line)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q in %q", rest[i], line)
+		}
+		b.Metrics[rest[i+1]] = v
+	}
+	return b, nil
+}

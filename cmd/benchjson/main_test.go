@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dcg
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkDCGRun         	       3	  41204705 ns/op	        20.81 save%
+BenchmarkReplayEvaluate 	       3	  11037250 ns/op	        20.81 save%
+PASS
+ok  	dcg	0.533s
+pkg: dcg/internal/simrun
+BenchmarkCacheDo-4      	 1000000	      1042 ns/op	     120 B/op	       3 allocs/op
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader(sample)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GOOS != "linux" || rep.GOARCH != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Errorf("header mis-parsed: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	run := rep.Benchmarks[0]
+	if run.Name != "DCGRun" || run.Pkg != "dcg" || run.Iterations != 3 {
+		t.Errorf("first benchmark mis-parsed: %+v", run)
+	}
+	if run.Metrics["ns/op"] != 41204705 || run.Metrics["save%"] != 20.81 {
+		t.Errorf("metrics mis-parsed: %v", run.Metrics)
+	}
+	cache := rep.Benchmarks[2]
+	if cache.Name != "CacheDo-4" || cache.Pkg != "dcg/internal/simrun" {
+		t.Errorf("per-package attribution wrong: %+v", cache)
+	}
+	if cache.Metrics["allocs/op"] != 3 {
+		t.Errorf("benchmem metrics mis-parsed: %v", cache.Metrics)
+	}
+}
+
+func TestParseSkipsUncountedLines(t *testing.T) {
+	rep, err := parse(bufio.NewScanner(strings.NewReader("BenchmarkBroken\nBenchmarkOK 5 10 ns/op\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Name != "OK" {
+		t.Fatalf("parsed %+v", rep.Benchmarks)
+	}
+}

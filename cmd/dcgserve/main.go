@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dcgserve [-addr :8080] [-workers N] [-cache 1024]
+//	dcgserve [-addr :8080] [-workers N] [-cache 1024] [-timing-cache 16]
 //	         [-default-insts 300000] [-max-insts 5000000] [-timeout 60s]
 //
 // Try it:
@@ -32,6 +32,7 @@ func main() {
 		addr         = flag.String("addr", ":8080", "listen address")
 		workers      = flag.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		cacheSize    = flag.Int("cache", 1024, "max memoised results (negative = unbounded)")
+		timingCache  = flag.Int("timing-cache", 16, "max cached timing traces, megabytes each (negative = unbounded)")
 		defaultInsts = flag.Uint64("default-insts", 300_000, "instructions when a request omits insts")
 		maxInsts     = flag.Uint64("max-insts", 5_000_000, "reject requests above this instruction count")
 		timeout      = flag.Duration("timeout", 60*time.Second, "per-request simulation deadline")
@@ -40,11 +41,12 @@ func main() {
 	flag.Parse()
 
 	srv := server.New(server.Config{
-		Workers:        *workers,
-		CacheSize:      *cacheSize,
-		DefaultInsts:   *defaultInsts,
-		MaxInsts:       *maxInsts,
-		DefaultTimeout: *timeout,
+		Workers:         *workers,
+		CacheSize:       *cacheSize,
+		TimingCacheSize: *timingCache,
+		DefaultInsts:    *defaultInsts,
+		MaxInsts:        *maxInsts,
+		DefaultTimeout:  *timeout,
 	})
 
 	httpSrv := &http.Server{

@@ -1,11 +1,13 @@
-// Command dcgsim runs one benchmark (or the full suite) under a chosen
-// clock-gating scheme and prints performance, utilisation, and power
-// statistics.
+// Command dcgsim runs one benchmark (or the full suite) under one or more
+// clock-gating schemes and prints performance, utilisation, and power
+// statistics. When several timing-neutral schemes (none, dcg, oracle) are
+// requested together, the benchmark's core timing is simulated once and
+// each scheme is evaluated by replaying the captured usage trace.
 //
 // Usage:
 //
 //	dcgsim -bench gcc -scheme dcg -n 500000
-//	dcgsim -bench all -scheme none -n 200000
+//	dcgsim -bench all -scheme none,dcg,oracle -n 200000
 //	dcgsim -bench mcf -scheme plb-ext -deep -v
 package main
 
@@ -13,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dcg/internal/core"
 	"dcg/internal/power"
@@ -24,7 +27,7 @@ import (
 func main() {
 	var (
 		bench   = flag.String("bench", "all", "benchmark name, or 'all', 'int', 'fp'")
-		scheme  = flag.String("scheme", "dcg", "gating scheme: none, dcg, plb-orig, plb-ext")
+		scheme  = flag.String("scheme", "dcg", "gating scheme(s), comma-separated: none, dcg, plb-orig, plb-ext, oracle")
 		n       = flag.Uint64("n", 200_000, "dynamic instructions to simulate per benchmark")
 		deep    = flag.Bool("deep", false, "use the 20-stage deep pipeline (section 5.6)")
 		verbose = flag.Bool("v", false, "print the per-component energy breakdown")
@@ -34,9 +37,18 @@ func main() {
 	)
 	flag.Parse()
 
-	kind, err := core.ParseScheme(*scheme)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	var kinds []core.SchemeKind
+	for _, name := range strings.Split(*scheme, ",") {
+		kind, err := core.ParseScheme(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		kinds = append(kinds, kind)
+	}
+	kind := kinds[0]
+	if len(kinds) > 1 && (*record != "" || *replay != "" || *profile != "") {
+		fmt.Fprintln(os.Stderr, "dcgsim: -record/-replay/-profile take a single -scheme")
 		os.Exit(2)
 	}
 
@@ -80,26 +92,37 @@ func main() {
 		names = []string{*bench}
 	}
 
+	headers := []string{"bench", "IPC", "save%", "int-u%", "fp-u%", "latch%", "dport%", "bus%", "bpred%", "dl1m%"}
+	if len(kinds) > 1 {
+		headers = append([]string{"bench", "scheme"}, headers[1:]...)
+	}
 	tbl := stats.NewTable(
-		fmt.Sprintf("scheme=%s insts=%d depth=%d", kind, *n, machine.Pipeline.Depth),
-		"bench", "IPC", "save%", "int-u%", "fp-u%", "latch%", "dport%", "bus%", "bpred%", "dl1m%")
+		fmt.Sprintf("scheme=%s insts=%d depth=%d", *scheme, *n, machine.Pipeline.Depth),
+		headers...)
 	var savings []float64
 	for _, name := range names {
-		res, err := sim.RunBenchmark(name, kind, *n)
+		results, err := runSchemes(sim, name, kinds, *n)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dcgsim: %s: %v\n", name, err)
 			os.Exit(1)
 		}
-		tbl.AddRowf(name,
-			fmt.Sprintf("%.2f", res.IPC),
-			100*res.Saving,
-			100*res.Util.IntUnits, 100*res.Util.FPUnits, 100*res.Util.Latches,
-			100*res.Util.DPorts, 100*res.Util.ResultBus,
-			100*res.BranchAccuracy, 100*res.DL1MissRate)
-		savings = append(savings, res.Saving)
-		if *verbose {
-			fmt.Println(res.Summary())
-			fmt.Println(res.Energy.String())
+		for i, res := range results {
+			row := []any{name}
+			if len(kinds) > 1 {
+				row = append(row, kinds[i].String())
+			}
+			row = append(row,
+				fmt.Sprintf("%.2f", res.IPC),
+				100*res.Saving,
+				100*res.Util.IntUnits, 100*res.Util.FPUnits, 100*res.Util.Latches,
+				100*res.Util.DPorts, 100*res.Util.ResultBus,
+				100*res.BranchAccuracy, 100*res.DL1MissRate)
+			tbl.AddRowf(row...)
+			savings = append(savings, res.Saving)
+			if *verbose {
+				fmt.Println(res.Summary())
+				fmt.Println(res.Energy.String())
+			}
 		}
 	}
 	fmt.Print(tbl.String())
@@ -109,6 +132,40 @@ func main() {
 		m, _ := power.NewModel(machine)
 		fmt.Printf("baseline per-cycle power: %.0f units\n", m.AllOnPower())
 	}
+}
+
+// runSchemes evaluates every requested scheme on one benchmark. When two
+// or more of them are timing-neutral, the core timing is simulated once
+// and those schemes are evaluated by replaying the captured usage trace —
+// bit-identical to direct runs. Schemes that perturb timing (PLB) always
+// run the full simulation.
+func runSchemes(sim *core.Simulator, bench string, kinds []core.SchemeKind, n uint64) ([]*core.Result, error) {
+	neutral := 0
+	for _, k := range kinds {
+		if core.TimingNeutral(k) {
+			neutral++
+		}
+	}
+	var tm *core.Timing
+	if neutral >= 2 {
+		var err error
+		if tm, err = sim.CaptureBenchmark(bench, n); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*core.Result, len(kinds))
+	for i, k := range kinds {
+		var err error
+		if tm != nil && core.TimingNeutral(k) {
+			out[i], err = sim.EvaluateTiming(tm, k)
+		} else {
+			out[i], err = sim.RunBenchmark(bench, k, n)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", k, err)
+		}
+	}
+	return out, nil
 }
 
 // recordTrace captures a benchmark's dynamic stream to a trace file.

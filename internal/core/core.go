@@ -21,21 +21,25 @@ import (
 	"dcg/internal/gating"
 	"dcg/internal/power"
 	"dcg/internal/trace"
+	"dcg/internal/usagetrace"
 	"dcg/internal/workload"
 )
 
 // SchemeKind selects the clock-gating methodology for a run.
 type SchemeKind int
 
-// The four schemes of the paper's evaluation.
+// The four schemes of the paper's evaluation, plus the Oracle headroom
+// study of sections 2.2/5.7 (DCG extended with issue-queue and front-end
+// latch gating under oracle knowledge — an upper bound, not a design).
 const (
 	SchemeNone SchemeKind = iota
 	SchemeDCG
 	SchemePLBOrig
 	SchemePLBExt
+	SchemeOracle
 )
 
-var schemeNames = [...]string{"none", "dcg", "plb-orig", "plb-ext"}
+var schemeNames = [...]string{"none", "dcg", "plb-orig", "plb-ext", "oracle"}
 
 // String returns the scheme name.
 func (k SchemeKind) String() string {
@@ -47,18 +51,34 @@ func (k SchemeKind) String() string {
 
 // AllSchemes lists every scheme, baseline first.
 func AllSchemes() []SchemeKind {
-	return []SchemeKind{SchemeNone, SchemeDCG, SchemePLBOrig, SchemePLBExt}
+	return []SchemeKind{SchemeNone, SchemeDCG, SchemePLBOrig, SchemePLBExt, SchemeOracle}
 }
 
 // ParseScheme resolves a scheme name ("none", "dcg", "plb-orig",
-// "plb-ext") to its SchemeKind.
+// "plb-ext", "oracle") to its SchemeKind.
 func ParseScheme(s string) (SchemeKind, error) {
 	for _, k := range AllSchemes() {
 		if k.String() == s {
 			return k, nil
 		}
 	}
-	return 0, fmt.Errorf("core: unknown scheme %q (want none|dcg|plb-orig|plb-ext)", s)
+	return 0, fmt.Errorf("core: unknown scheme %q (want none|dcg|plb-orig|plb-ext|oracle)", s)
+}
+
+// TimingNeutral reports whether the scheme cannot change the core's
+// timing: its gating decisions are derived from the issue stage's GRANT
+// signals (or are pure observation) and it never throttles the pipeline,
+// so baseline, DCG, and Oracle runs produce bit-identical cycle-by-cycle
+// execution. Timing-neutral schemes can be evaluated by replaying a
+// captured usage trace (EvaluateTiming); PLB throttles the issue width
+// from its own IPC feedback, changes timing, and must be fully simulated.
+func TimingNeutral(kind SchemeKind) bool {
+	switch kind {
+	case SchemeNone, SchemeDCG, SchemeOracle:
+		return true
+	default:
+		return false
+	}
 }
 
 // DefaultMachine returns the Table 1 processor configuration.
@@ -127,25 +147,66 @@ type Result struct {
 	// CPUStats is the raw core statistics snapshot.
 	CPUStats cpu.Stats
 
-	model *power.Model
-	acct  *power.Accountant
+	// fullPerCycle is the machine's all-on per-cycle power per component,
+	// copied out of the run's power model. Results are cached by the
+	// simrun LRU; holding the model and accountant themselves would keep
+	// the whole gating scheme (DCG's ~260KB of schedule rings hangs off
+	// the accountant's Gater) alive per cached entry, so Result carries
+	// only these plain numbers and recomputes a Model on demand.
+	fullPerCycle power.Breakdown
 }
 
-// ComponentSaving exposes per-structure savings for the figure harnesses.
+// ComponentSaving exposes per-structure savings for the figure harnesses:
+// the energy the component group consumed versus always-on over the run.
+// The arithmetic mirrors power.Accountant.ComponentSaving term for term,
+// so replayed and direct results agree bit for bit.
 func (r *Result) ComponentSaving(comps ...power.Component) float64 {
-	return r.acct.ComponentSaving(comps...)
+	var used, full float64
+	for _, c := range comps {
+		used += r.Energy[c]
+		full += r.fullPerCycle[c] * float64(r.Cycles)
+	}
+	if full == 0 {
+		return 0
+	}
+	return 1 - used/full
 }
 
-// LatchSaving returns the Figure 14 quantity (saving over total latch
-// power including DCG control overhead).
-func (r *Result) LatchSaving() float64 { return r.acct.LatchSaving() }
+// LatchSaving returns the Figure 14 quantity: saving over total pipeline
+// latch power (front + back), with DCG's control-latch overhead charged
+// against it.
+func (r *Result) LatchSaving() float64 {
+	used := r.Energy[power.CompLatchFront] + r.Energy[power.CompLatchBack] + r.Energy[power.CompDCGControl]
+	full := (r.fullPerCycle[power.CompLatchFront] + r.fullPerCycle[power.CompLatchBack]) * float64(r.Cycles)
+	if full == 0 {
+		return 0
+	}
+	return 1 - used/full
+}
 
-// DCacheSaving returns the Figure 15 quantity (saving over total D-cache
-// power).
-func (r *Result) DCacheSaving() float64 { return r.acct.DCacheSaving() }
+// DCacheSaving returns the Figure 15 quantity: saving over total D-cache
+// power (decoders + rest).
+func (r *Result) DCacheSaving() float64 {
+	used := r.Energy[power.CompDCacheDecoder] + r.Energy[power.CompDCacheOther]
+	full := (r.fullPerCycle[power.CompDCacheDecoder] + r.fullPerCycle[power.CompDCacheOther]) * float64(r.Cycles)
+	if full == 0 {
+		return 0
+	}
+	return 1 - used/full
+}
 
-// Model returns the power model used by the run.
-func (r *Result) Model() *power.Model { return r.model }
+// Model rebuilds the run's power model from the machine configuration
+// (model derivation is deterministic, so this is the model the run used;
+// the result deliberately does not retain the original — see fullPerCycle).
+func (r *Result) Model() *power.Model {
+	m, err := power.NewModel(r.Machine)
+	if err != nil {
+		// The run already validated this configuration; a failure here is
+		// a programming error, not a user input.
+		panic(fmt.Sprintf("core: rebuilding power model: %v", err))
+	}
+	return m
+}
 
 // PowerDelay returns the run's power-delay product (average power times
 // cycle count).
@@ -216,6 +277,8 @@ func (s *Simulator) makeScheme(kind SchemeKind) (gating.Scheme, error) {
 		return gating.NewPLB(s.machine, s.PLBParams, false), nil
 	case SchemePLBExt:
 		return gating.NewPLB(s.machine, s.PLBParams, true), nil
+	case SchemeOracle:
+		return gating.NewOracle(s.machine), nil
 	default:
 		return nil, fmt.Errorf("core: unknown scheme %v", kind)
 	}
@@ -230,36 +293,47 @@ func (s *Simulator) RunBenchmark(name string, kind SchemeKind, maxInsts uint64) 
 // RunBenchmarkContext is RunBenchmark with cancellation: the context is
 // polled inside the cycle loop, so a canceled or timed-out request aborts
 // the simulation within a few thousand cycles and returns a context error.
+//
+// For timing-neutral schemes this is semantically the composition of the
+// capture and evaluation passes — RunAndCapture followed by discarding
+// the Timing — executed as a single direct pass; a golden test holds the
+// two paths bit-identical.
 func (s *Simulator) RunBenchmarkContext(ctx context.Context, name string, kind SchemeKind, maxInsts uint64) (*Result, error) {
 	scheme, err := s.makeScheme(kind)
 	if err != nil {
 		return nil, err
 	}
-	prof, ok := workload.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("core: unknown benchmark %q", name)
-	}
-	gen, err := workload.NewGenerator(prof)
+	warm, src, err := s.benchSources(name, maxInsts)
 	if err != nil {
 		return nil, err
 	}
-	warm := trace.NewLimitSource(gen, s.Warmup)
-	return s.run(ctx, warm, trace.NewLimitSource(gen, maxInsts), scheme)
+	return s.run(ctx, warm, src, scheme)
+}
+
+// benchSources builds the warm-up and measured instruction streams for a
+// built-in benchmark.
+func (s *Simulator) benchSources(name string, maxInsts uint64) (warm, src trace.Source, err error) {
+	prof, ok := workload.ByName(name)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: unknown benchmark %q", name)
+	}
+	gen, err := workload.NewGenerator(prof)
+	if err != nil {
+		return nil, nil, err
+	}
+	return trace.NewLimitSource(gen, s.Warmup), trace.NewLimitSource(gen, maxInsts), nil
 }
 
 // RunBenchmarkScheme is RunBenchmark with a caller-provided gating scheme
-// (partial-DCG ablations, custom controllers).
+// (partial-DCG ablations, custom controllers). It always takes the
+// direct-run path: custom schemes may throttle or observe per-cycle
+// Limits, which a replay cannot reproduce.
 func (s *Simulator) RunBenchmarkScheme(name string, scheme gating.Scheme, maxInsts uint64) (*Result, error) {
-	prof, ok := workload.ByName(name)
-	if !ok {
-		return nil, fmt.Errorf("core: unknown benchmark %q", name)
-	}
-	gen, err := workload.NewGenerator(prof)
+	warm, src, err := s.benchSources(name, maxInsts)
 	if err != nil {
 		return nil, err
 	}
-	warm := trace.NewLimitSource(gen, s.Warmup)
-	return s.run(context.Background(), warm, trace.NewLimitSource(gen, maxInsts), scheme)
+	return s.run(context.Background(), warm, src, scheme)
 }
 
 // RunStream warms the machine on the stream's first Warmup instructions,
@@ -291,66 +365,225 @@ func (s *Simulator) RunScheme(src trace.Source, scheme gating.Scheme) (*Result, 
 	return s.run(context.Background(), nil, src, scheme)
 }
 
-// run optionally warms the machine on warmSrc, then simulates src. The
-// context's cancellation is polled inside the warm-up and cycle loops.
+// Timing is the product of one timing pass: everything a simulation run
+// determines about the machine's cycle-by-cycle behaviour that does not
+// depend on the gating scheme. For timing-neutral schemes (TimingNeutral)
+// the attached usage trace replays through any scheme + power accountant
+// (EvaluateTiming) to produce the same Result a full simulation would.
+type Timing struct {
+	Benchmark string
+	Machine   config.Config
+
+	// CPUStats is the core statistics snapshot; Util/Stall and the
+	// branch/cache rates are the derived quantities every Result carries.
+	CPUStats       cpu.Stats
+	Util           Utilization
+	Stall          StallStack
+	BranchAccuracy float64
+	DL1MissRate    float64
+	L2MissRate     float64
+
+	// Trace is the captured per-cycle usage + issue-event stream.
+	Trace *usagetrace.Trace
+}
+
+// Cycles returns the timing pass's cycle count.
+func (t *Timing) Cycles() uint64 { return t.CPUStats.Cycles }
+
+// run warms the machine on warmSrc (when non-nil), then simulates src
+// under the scheme: the original single-pass path, with timing and power
+// evaluated together.
 func (s *Simulator) run(ctx context.Context, warmSrc, src trace.Source, scheme gating.Scheme) (*Result, error) {
+	res, _, err := s.runCapture(ctx, warmSrc, src, scheme, false)
+	return res, err
+}
+
+// runCapture executes the timing simulation; with capture set it also
+// records the usage trace through the cpu fan-out (the accountant and the
+// trace writer both observe the core's reused Usage buffer; the scheme
+// and the writer both hear every GRANT event), returning the scheme's
+// Result and the reusable Timing from one pass.
+func (s *Simulator) runCapture(ctx context.Context, warmSrc, src trace.Source, scheme gating.Scheme, capture bool) (*Result, *Timing, error) {
 	machine := s.machine
 	c, err := cpu.New(machine, src)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	c.SetCancel(ctx.Err)
 	model, err := power.NewModel(machine)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	acct := power.NewAccountant(model, scheme)
 	acct.LeakageFrac = s.LeakageFrac
 	c.SetThrottle(scheme)
-	c.SetIssueListener(scheme)
-	c.SetObserver(acct)
+	var rec *usagetrace.Recorder
+	if capture {
+		rec, err = usagetrace.NewRecorder(src.Name(), machine.BackEndLatchStages())
+		if err != nil {
+			return nil, nil, err
+		}
+		// Trace writer first: it serialises each cycle exactly as the core
+		// published it, before the accountant consumes the same buffer.
+		c.SetIssueListener(cpu.MultiIssueListener{rec, scheme})
+		c.SetObserver(cpu.MultiObserver{rec, acct})
+	} else {
+		c.SetIssueListener(scheme)
+		c.SetObserver(acct)
+	}
 	if warmSrc != nil {
 		c.Warm(warmSrc, ^uint64(0))
 	}
 
 	// Cycle-limit backstop: generous multiple of the instruction count.
 	if _, err := c.Run(0); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := acct.Validate(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	st := c.Stats()
-	res := &Result{
-		Benchmark:     src.Name(),
-		Scheme:        scheme.Name(),
-		Machine:       machine,
-		Cycles:        st.Cycles,
-		Committed:     st.Committed,
-		IPC:           st.IPC(),
-		AvgPower:      acct.AvgPower(),
-		BaselinePower: model.AllOnPower(),
-		Saving:        acct.Saving(),
-		Energy:        acct.Energy,
-		CPUStats:      *st,
-		model:         model,
-		acct:          acct,
+	tm := &Timing{
+		Benchmark:      src.Name(),
+		Machine:        machine,
+		CPUStats:       *st,
+		Util:           utilization(machine, st),
+		Stall:          stallStack(st),
+		BranchAccuracy: ratio(st.CondCorrect, st.CondBranches),
+		DL1MissRate:    c.Hierarchy().DL1.MissRate(),
+		L2MissRate:     c.Hierarchy().L2.MissRate(),
 	}
-	res.Util = utilization(machine, st)
-	res.Stall = stallStack(st)
-	res.BranchAccuracy = ratio(st.CondCorrect, st.CondBranches)
-	res.DL1MissRate = c.Hierarchy().DL1.MissRate()
-	res.L2MissRate = c.Hierarchy().L2.MissRate()
+	res := resultFor(tm, scheme, model, acct)
+	if !capture {
+		return res, nil, nil
+	}
+	tr, err := rec.Trace()
+	if err != nil {
+		return nil, nil, err
+	}
+	tm.Trace = tr
+	return res, tm, nil
+}
 
+// resultFor assembles a Result from a timing pass and an evaluated
+// scheme/accountant pair. Both the direct-run and replay paths funnel
+// through here, so the two produce structurally identical Results.
+func resultFor(t *Timing, scheme gating.Scheme, model *power.Model, acct *power.Accountant) *Result {
+	st := &t.CPUStats
+	res := &Result{
+		Benchmark:      t.Benchmark,
+		Scheme:         scheme.Name(),
+		Machine:        t.Machine,
+		Cycles:         st.Cycles,
+		Committed:      st.Committed,
+		IPC:            st.IPC(),
+		AvgPower:       acct.AvgPower(),
+		BaselinePower:  model.AllOnPower(),
+		Saving:         acct.Saving(),
+		Energy:         acct.Energy,
+		CPUStats:       *st,
+		Util:           t.Util,
+		Stall:          t.Stall,
+		BranchAccuracy: t.BranchAccuracy,
+		DL1MissRate:    t.DL1MissRate,
+		L2MissRate:     t.L2MissRate,
+	}
+	for c := power.Component(0); c < power.NumComponents; c++ {
+		res.fullPerCycle[c] = model.PerCycle(c)
+	}
 	if plb, ok := scheme.(*gating.PLB); ok {
 		res.PLBModeCycles = plb.ModeCycles()
 	}
 	if dcg, ok := scheme.(*gating.DCG); ok {
 		res.LeadViolations = dcg.LeadViolations
 	}
+	if o, ok := scheme.(*gating.Oracle); ok {
+		res.LeadViolations = o.LeadViolations()
+	}
 	res.GateViolations = acct.GateViolations
-	return res, nil
+	return res
+}
+
+// RunAndCapture runs one benchmark simulation under a timing-neutral
+// scheme, returning both the scheme's Result and the captured Timing: the
+// timing pass and the first scheme evaluation cost a single core
+// simulation, and every further timing-neutral scheme is an EvaluateTiming
+// replay over the returned Timing.
+func (s *Simulator) RunAndCapture(ctx context.Context, name string, kind SchemeKind, maxInsts uint64) (*Result, *Timing, error) {
+	if !TimingNeutral(kind) {
+		return nil, nil, fmt.Errorf("core: scheme %v changes timing; capture requires a timing-neutral scheme", kind)
+	}
+	scheme, err := s.makeScheme(kind)
+	if err != nil {
+		return nil, nil, err
+	}
+	warm, src, err := s.benchSources(name, maxInsts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.runCapture(ctx, warm, src, scheme, true)
+}
+
+// CaptureBenchmark runs the timing pass alone (under the no-gating
+// baseline) and returns the Timing for later evaluation passes.
+func (s *Simulator) CaptureBenchmark(name string, maxInsts uint64) (*Timing, error) {
+	return s.CaptureBenchmarkContext(context.Background(), name, maxInsts)
+}
+
+// CaptureBenchmarkContext is CaptureBenchmark with cancellation.
+func (s *Simulator) CaptureBenchmarkContext(ctx context.Context, name string, maxInsts uint64) (*Timing, error) {
+	_, tm, err := s.RunAndCapture(ctx, name, SchemeNone, maxInsts)
+	return tm, err
+}
+
+// EvaluateTiming replays a captured timing through a timing-neutral
+// scheme and a fresh power accountant: the evaluation pass. The replay
+// feeds each cycle's issue events to the scheme and each usage vector to
+// the accountant in the core's delivery order, so schedules, gating
+// decisions, and energy integrate exactly as in a direct run — the
+// Result's power metrics are bit-identical (a golden test enforces this).
+func (s *Simulator) EvaluateTiming(t *Timing, kind SchemeKind) (*Result, error) {
+	if !TimingNeutral(kind) {
+		return nil, fmt.Errorf("core: scheme %v changes timing and cannot be evaluated by replay", kind)
+	}
+	scheme, err := s.makeScheme(kind)
+	if err != nil {
+		return nil, err
+	}
+	return s.EvaluateTimingScheme(t, scheme)
+}
+
+// EvaluateTimingScheme is EvaluateTiming with a caller-provided scheme
+// (partial-DCG ablations). The scheme must be timing-neutral — fresh,
+// never throttling, deriving state only from the events and usage vectors
+// it is fed; a scheme whose Limits matter would have produced a different
+// trace.
+func (s *Simulator) EvaluateTimingScheme(t *Timing, scheme gating.Scheme) (*Result, error) {
+	if t == nil || t.Trace == nil {
+		return nil, fmt.Errorf("core: evaluation requires a captured timing trace")
+	}
+	model, err := power.NewModel(t.Machine)
+	if err != nil {
+		return nil, err
+	}
+	acct := power.NewAccountant(model, scheme)
+	acct.LeakageFrac = s.LeakageFrac
+	rd, err := t.Trace.Reader()
+	if err != nil {
+		return nil, err
+	}
+	cycles, err := usagetrace.Replay(rd, scheme, acct)
+	if err != nil {
+		return nil, err
+	}
+	if cycles != t.CPUStats.Cycles {
+		return nil, fmt.Errorf("core: trace replays %d cycles but timing ran %d", cycles, t.CPUStats.Cycles)
+	}
+	if err := acct.Validate(); err != nil {
+		return nil, err
+	}
+	return resultFor(t, scheme, model, acct), nil
 }
 
 func utilization(m config.Config, st *cpu.Stats) Utilization {

@@ -1,0 +1,47 @@
+package cpu
+
+import "testing"
+
+type recordingObserver struct {
+	cycles []uint64
+	shared *Usage
+}
+
+func (r *recordingObserver) OnCycle(u *Usage) {
+	r.cycles = append(r.cycles, u.Cycle)
+	r.shared = u
+}
+
+type recordingListener struct{ events []IssueEvent }
+
+func (r *recordingListener) OnIssue(ev IssueEvent) { r.events = append(r.events, ev) }
+
+func TestMultiObserverFansOutSameBuffer(t *testing.T) {
+	a, b := &recordingObserver{}, &recordingObserver{}
+	m := MultiObserver{a, b}
+	u := &Usage{BackLatch: make([]int, 5)}
+	for cyc := uint64(0); cyc < 3; cyc++ {
+		u.Cycle = cyc
+		m.OnCycle(u)
+	}
+	for _, r := range []*recordingObserver{a, b} {
+		if len(r.cycles) != 3 || r.cycles[2] != 2 {
+			t.Fatalf("observer saw cycles %v, want [0 1 2]", r.cycles)
+		}
+		if r.shared != u {
+			t.Fatal("observer did not receive the shared reused buffer")
+		}
+	}
+}
+
+func TestMultiIssueListenerFansOutInOrder(t *testing.T) {
+	a, b := &recordingListener{}, &recordingListener{}
+	m := MultiIssueListener{a, b}
+	m.OnIssue(IssueEvent{Cycle: 7, FUIdx: 2})
+	m.OnIssue(IssueEvent{Cycle: 8, FUIdx: -1, IsLoad: true})
+	for _, r := range []*recordingListener{a, b} {
+		if len(r.events) != 2 || r.events[0].Cycle != 7 || !r.events[1].IsLoad {
+			t.Fatalf("listener saw %+v, want both events in order", r.events)
+		}
+	}
+}

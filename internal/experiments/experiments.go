@@ -42,13 +42,16 @@ func DefaultOptions() Options {
 }
 
 // Runner executes and memoises simulation runs shared across experiments.
-// Memoisation and request coalescing live in simrun.Cache (shared with
-// the serving layer); uncached runs are executed in parallel (each
-// simulation is independent and fully deterministic, so parallel order
-// cannot change any result).
+// Memoisation, request coalescing, and the capture-once/replay-many split
+// live in simrun.Exec (shared with the serving layer): the timing-neutral
+// schemes (none, dcg, oracle) of one benchmark share a single core timing
+// simulation and differ only in a cheap trace replay, so e.g. Figure 10
+// performs exactly one timing pass per benchmark. Uncached runs execute in
+// parallel (each simulation is independent and fully deterministic, so
+// parallel order cannot change any result).
 type Runner struct {
 	opts Options
-	memo *simrun.Cache
+	exec *simrun.Exec
 }
 
 // NewRunner builds a Runner.
@@ -59,8 +62,13 @@ func NewRunner(opts Options) *Runner {
 	if opts.Benchmarks == nil {
 		opts.Benchmarks = workload.Names()
 	}
-	return &Runner{opts: opts, memo: simrun.NewCache(0)}
+	return &Runner{opts: opts, exec: simrun.NewExec(0, 0)}
 }
+
+// TimingStats snapshots the timing-level cache: Misses counts core timing
+// simulations actually executed, Hits counts scheme evaluations served by
+// replaying an already-captured trace.
+func (r *Runner) TimingStats() simrun.Stats { return r.exec.TimingStats() }
 
 // Benchmarks returns the active benchmark list.
 func (r *Runner) Benchmarks() []string { return r.opts.Benchmarks }
@@ -76,9 +84,7 @@ func (r *Runner) key(bench string, scheme core.SchemeKind, deep bool, intALU int
 // result runs (or recalls) one simulation.
 func (r *Runner) result(bench string, scheme core.SchemeKind, deep bool, intALU int) (*core.Result, error) {
 	key := r.key(bench, scheme, deep, intALU)
-	res, _, err := r.memo.Do(context.Background(), key, func(ctx context.Context) (*core.Result, error) {
-		return simrun.Run(ctx, key)
-	})
+	res, _, err := r.exec.Do(context.Background(), key)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s/%v: %w", bench, scheme, err)
 	}
@@ -95,7 +101,7 @@ func (r *Runner) prefetch(keys []simrun.Key) error {
 	var mu sync.Mutex
 	var firstErr error
 	for _, key := range keys {
-		if _, ok := r.memo.Get(key); ok {
+		if _, ok := r.exec.Get(key); ok {
 			continue
 		}
 		wg.Add(1)

@@ -50,6 +50,36 @@ func TestFig10Shape(t *testing.T) {
 	}
 }
 
+// TestFig10OneTimingRunPerBenchmark is the capture-once acceptance test:
+// regenerating Figure 10 (baseline + DCG + both PLBs over every
+// benchmark) must execute exactly one core timing simulation per
+// (benchmark, machine). The timing-neutral schemes — none and dcg here —
+// share one captured trace; only the capture itself is a timing miss.
+func TestFig10OneTimingRunPerBenchmark(t *testing.T) {
+	benches := []string{"gzip", "swim"}
+	r := NewRunner(Options{Insts: 30_000, Warmup: 20_000, Benchmarks: benches})
+	if _, err := r.Fig10(); err != nil {
+		t.Fatal(err)
+	}
+	st := r.TimingStats()
+	if st.Misses != uint64(len(benches)) {
+		t.Errorf("Fig10 executed %d timing simulations for %d benchmarks, want exactly one each",
+			st.Misses, len(benches))
+	}
+	// Each benchmark's second neutral scheme came from replay.
+	if st.Hits+st.Coalesced != uint64(len(benches)) {
+		t.Errorf("timing cache served %d replays (%d hits + %d coalesced), want %d",
+			st.Hits+st.Coalesced, st.Hits, st.Coalesced, len(benches))
+	}
+	// Fig11 reuses the same keys: no new timing work at all.
+	if _, err := r.Fig11(); err != nil {
+		t.Fatal(err)
+	}
+	if st2 := r.TimingStats(); st2.Misses != st.Misses {
+		t.Errorf("Fig11 re-ran %d timing simulations", st2.Misses-st.Misses)
+	}
+}
+
 func TestFig11PowerDelayShape(t *testing.T) {
 	r := fastRunner()
 	p10, err := r.Fig10()

@@ -21,7 +21,8 @@ type SimRequest struct {
 	// Benchmark is a built-in benchmark name (see /v1/benchmarks).
 	Benchmark string `json:"benchmark"`
 
-	// Scheme is "none", "dcg", "plb-orig" or "plb-ext" (default "dcg").
+	// Scheme is "none", "dcg", "plb-orig", "plb-ext" or "oracle"
+	// (default "dcg").
 	Scheme string `json:"scheme,omitempty"`
 
 	// Insts is the measured dynamic instruction count (default: the
@@ -110,7 +111,8 @@ type SimResponse struct {
 	GateViolations uint64 `json:"gate_violations"`
 
 	// Source is how the request was served: "simulated" (this request
-	// ran the simulation), "coalesced" (shared an identical in-flight
+	// ran the full simulation), "replayed" (evaluated by replaying a
+	// cached timing trace), "coalesced" (shared an identical in-flight
 	// run) or "cache" (memoised result).
 	Source string `json:"source"`
 

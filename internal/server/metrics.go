@@ -18,6 +18,8 @@ type metrics struct {
 	cacheHits   atomic.Int64 // requests answered from the memo
 	cacheMisses atomic.Int64 // requests that ran (or tried to run) a sim
 	coalesced   atomic.Int64 // requests that shared an in-flight run
+	timingRuns  atomic.Int64 // core timing simulations captured to a trace
+	replays     atomic.Int64 // requests answered by replaying a cached trace
 }
 
 // Snapshot is a point-in-time copy of the service counters, served on
@@ -36,25 +38,36 @@ type Snapshot struct {
 	Coalesced   int64   `json:"coalesced"`
 	CacheSize   int     `json:"cache_size"`
 	Evictions   uint64  `json:"cache_evictions"`
+
+	// Capture-once / replay-many counters: TimingRuns counts core timing
+	// simulations that also captured a trace, Replays counts requests
+	// answered by replaying one, TimingCached is the resident trace count.
+	TimingRuns   int64 `json:"timing_runs"`
+	Replays      int64 `json:"replays"`
+	TimingCached int   `json:"timing_cache_size"`
 }
 
 // Snapshot collects the current counter values.
 func (s *Server) Snapshot() Snapshot {
-	cs := s.cache.Stats()
+	cs := s.exec.ResultStats()
+	ts := s.exec.TimingStats()
 	return Snapshot{
-		UptimeSec:   time.Since(s.startedAt).Seconds(),
-		Draining:    s.Draining(),
-		Workers:     s.cfg.Workers,
-		Requests:    s.metrics.requests.Load(),
-		Batches:     s.metrics.batches.Load(),
-		Errors:      s.metrics.errors.Load(),
-		SimsRun:     s.metrics.simsRun.Load(),
-		ActiveSims:  s.metrics.activeSims.Load(),
-		CacheHits:   s.metrics.cacheHits.Load(),
-		CacheMisses: s.metrics.cacheMisses.Load(),
-		Coalesced:   s.metrics.coalesced.Load(),
-		CacheSize:   cs.Resident,
-		Evictions:   cs.Evictions,
+		UptimeSec:    time.Since(s.startedAt).Seconds(),
+		Draining:     s.Draining(),
+		Workers:      s.cfg.Workers,
+		Requests:     s.metrics.requests.Load(),
+		Batches:      s.metrics.batches.Load(),
+		Errors:       s.metrics.errors.Load(),
+		SimsRun:      s.metrics.simsRun.Load(),
+		ActiveSims:   s.metrics.activeSims.Load(),
+		CacheHits:    s.metrics.cacheHits.Load(),
+		CacheMisses:  s.metrics.cacheMisses.Load(),
+		Coalesced:    s.metrics.coalesced.Load(),
+		CacheSize:    cs.Resident,
+		Evictions:    cs.Evictions,
+		TimingRuns:   s.metrics.timingRuns.Load(),
+		Replays:      s.metrics.replays.Load(),
+		TimingCached: ts.Resident,
 	}
 }
 

@@ -8,8 +8,11 @@
 //     simulations execute at once, however many requests are in flight;
 //   - request coalescing: concurrent requests for the same simulation key
 //     execute it exactly once and share the result (singleflight);
-//   - a sharded LRU memo over completed results, so repeat queries are
-//     answered without re-simulating.
+//   - a two-level cache (simrun.Exec): a sharded LRU memo over completed
+//     results, plus a smaller LRU of captured timing traces. A request
+//     for a timing-neutral scheme (none, dcg, oracle) whose workload was
+//     already timed is answered by replaying the cached trace — orders of
+//     magnitude cheaper than re-running the cycle-accurate core.
 //
 // Every request carries a deadline; cancellation is threaded into the
 // simulator's cycle loop, so abandoned or timed-out requests stop burning
@@ -43,6 +46,11 @@ type Config struct {
 	// Default 1024; negative means unbounded.
 	CacheSize int
 
+	// TimingCacheSize bounds the cached timing-trace count. Traces are
+	// megabytes each (a result is kilobytes), so this should stay small.
+	// Default 16; negative means unbounded.
+	TimingCacheSize int
+
 	// DefaultInsts is the instruction count used when a request omits
 	// one. Default 300_000 (the recorded-results configuration).
 	DefaultInsts uint64
@@ -67,6 +75,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize < 0 {
 		c.CacheSize = 0 // unbounded, in simrun.NewCache terms
 	}
+	if c.TimingCacheSize == 0 {
+		c.TimingCacheSize = 16
+	}
+	if c.TimingCacheSize < 0 {
+		c.TimingCacheSize = 0
+	}
 	if c.DefaultInsts == 0 {
 		c.DefaultInsts = 300_000
 	}
@@ -79,17 +93,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// RunFunc executes one simulation. Production uses simrun.Run; tests
-// inject counting or blocking fakes.
+// RunFunc executes one simulation. Production uses the two-level
+// simrun.Exec; tests inject counting or blocking fakes via NewWithRunner.
 type RunFunc func(ctx context.Context, k simrun.Key) (*core.Result, error)
 
 // Server is the simulation service.
 type Server struct {
-	cfg   Config
-	run   RunFunc
-	cache *simrun.Cache
-	sem   chan struct{}
-	mux   *http.ServeMux
+	cfg  Config
+	exec *simrun.Exec
+	sem  chan struct{}
+	mux  *http.ServeMux
 
 	draining   atomic.Bool
 	metrics    metrics
@@ -97,24 +110,76 @@ type Server struct {
 	benchNames []string
 }
 
-// New builds a Server with the production runner.
-func New(cfg Config) *Server { return NewWithRunner(cfg, simrun.Run) }
+// New builds a Server with the production two-level executor: full runs
+// for timing-perturbing schemes, capture-once/replay-many for the
+// timing-neutral ones.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return newServer(cfg, simrun.NewExec(cfg.CacheSize, cfg.TimingCacheSize))
+}
 
-// NewWithRunner builds a Server that executes simulations through run.
+// NewWithRunner builds a Server that executes every simulation through
+// run, with no timing-trace level. This is the test seam: fakes observe
+// exactly one run call per cache miss.
 func NewWithRunner(cfg Config, run RunFunc) *Server {
 	cfg = cfg.withDefaults()
+	return newServer(cfg, simrun.NewSingleLevelExec(cfg.CacheSize, run))
+}
+
+func newServer(cfg Config, exec *simrun.Exec) *Server {
 	s := &Server{
 		cfg:        cfg,
-		run:        run,
-		cache:      simrun.NewCache(cfg.CacheSize),
+		exec:       exec,
 		sem:        make(chan struct{}, cfg.Workers),
 		mux:        http.NewServeMux(),
 		startedAt:  time.Now(),
 		benchNames: workload.Names(),
 	}
+	s.instrument()
 	s.routes()
 	s.publishExpvar()
 	return s
+}
+
+// instrument wraps the executor's simulation hooks with the bounded
+// worker pool and the activity counters. Only the expensive
+// cycle-accurate passes (full runs and timing captures) occupy a worker
+// slot; trace replays are orders of magnitude cheaper and are already
+// bounded by the in-flight request count.
+func (s *Server) instrument() {
+	acquire := func(ctx context.Context) error {
+		select {
+		case s.sem <- struct{}{}:
+			return nil
+		case <-ctx.Done():
+			return fmt.Errorf("server: queued waiting for a worker: %w", ctx.Err())
+		}
+	}
+	if full := s.exec.Full; full != nil {
+		s.exec.Full = func(ctx context.Context, k simrun.Key) (*core.Result, error) {
+			if err := acquire(ctx); err != nil {
+				return nil, err
+			}
+			defer func() { <-s.sem }()
+			s.metrics.activeSims.Add(1)
+			defer s.metrics.activeSims.Add(-1)
+			s.metrics.simsRun.Add(1)
+			return full(ctx, k)
+		}
+	}
+	if capture := s.exec.Capture; capture != nil {
+		s.exec.Capture = func(ctx context.Context, k simrun.Key) (*core.Result, *core.Timing, error) {
+			if err := acquire(ctx); err != nil {
+				return nil, nil, err
+			}
+			defer func() { <-s.sem }()
+			s.metrics.activeSims.Add(1)
+			defer s.metrics.activeSims.Add(-1)
+			s.metrics.simsRun.Add(1)
+			s.metrics.timingRuns.Add(1)
+			return capture(ctx, k)
+		}
+	}
 }
 
 // Handler returns the service's HTTP handler.
@@ -128,27 +193,20 @@ func (s *Server) Drain() { s.draining.Store(true) }
 // Draining reports whether Drain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// simulate answers one simulation key through the memo cache, the
-// coalescing layer, and the bounded worker pool (in that order: cache
-// hits and coalesced waiters never occupy a worker slot).
+// simulate answers one simulation key through the two-level executor: the
+// result memo, the coalescing layer, the timing-trace cache, and (for the
+// passes that actually simulate) the bounded worker pool. Cache hits,
+// coalesced waiters, and trace replays never occupy a worker slot.
 func (s *Server) simulate(ctx context.Context, k simrun.Key) (*core.Result, simrun.Outcome, error) {
-	res, outcome, err := s.cache.Do(ctx, k, func(ctx context.Context) (*core.Result, error) {
-		select {
-		case s.sem <- struct{}{}:
-		case <-ctx.Done():
-			return nil, fmt.Errorf("server: queued waiting for a worker: %w", ctx.Err())
-		}
-		defer func() { <-s.sem }()
-		s.metrics.activeSims.Add(1)
-		defer s.metrics.activeSims.Add(-1)
-		s.metrics.simsRun.Add(1)
-		return s.run(ctx, k)
-	})
+	res, outcome, err := s.exec.Do(ctx, k)
 	switch outcome {
 	case simrun.OutcomeHit:
 		s.metrics.cacheHits.Add(1)
 	case simrun.OutcomeCoalesced:
 		s.metrics.coalesced.Add(1)
+	case simrun.OutcomeReplayed:
+		s.metrics.cacheMisses.Add(1)
+		s.metrics.replays.Add(1)
 	default:
 		s.metrics.cacheMisses.Add(1)
 	}

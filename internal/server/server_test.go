@@ -330,8 +330,48 @@ func TestBenchmarksEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
-	if len(out.Benchmarks) == 0 || len(out.Schemes) != 4 {
+	if len(out.Benchmarks) == 0 || len(out.Schemes) != 5 {
 		t.Fatalf("vocabulary wrong: %d benchmarks, %d schemes", len(out.Benchmarks), len(out.Schemes))
+	}
+}
+
+// TestProductionServerRepliesFromTimingCache drives the real two-level
+// executor end to end: after the baseline scheme simulates (and captures
+// its timing trace), other timing-neutral schemes for the same workload
+// are answered by replay, while PLB still runs the full simulator.
+func TestProductionServerRepliesFromTimingCache(t *testing.T) {
+	s := New(Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := SimRequest{Benchmark: "gzip", Scheme: "none", Insts: 10_000, Warmup: 5_000}
+	if resp, out := postSim(t, ts, req); resp.StatusCode != http.StatusOK || out.Source != "simulated" {
+		t.Fatalf("baseline: status %d source %q", resp.StatusCode, out.Source)
+	}
+	for _, scheme := range []string{"dcg", "oracle"} {
+		r := req
+		r.Scheme = scheme
+		resp, out := postSim(t, ts, r)
+		if resp.StatusCode != http.StatusOK || out.Source != "replayed" {
+			t.Fatalf("%s: status %d source %q, want replayed", scheme, resp.StatusCode, out.Source)
+		}
+		if out.Saving <= 0 {
+			t.Errorf("%s: replayed result has saving %v", scheme, out.Saving)
+		}
+	}
+	r := req
+	r.Scheme = "plb-ext"
+	if resp, out := postSim(t, ts, r); resp.StatusCode != http.StatusOK || out.Source != "simulated" {
+		t.Fatalf("plb-ext: status %d source %q, want simulated (PLB perturbs timing)", resp.StatusCode, out.Source)
+	}
+
+	snap := s.Snapshot()
+	if snap.TimingRuns != 1 || snap.Replays != 2 || snap.TimingCached != 1 {
+		t.Errorf("timing counters wrong: runs=%d replays=%d cached=%d, want 1/2/1",
+			snap.TimingRuns, snap.Replays, snap.TimingCached)
+	}
+	if snap.SimsRun != 2 { // the capture + the PLB full run
+		t.Errorf("sims_run = %d, want 2", snap.SimsRun)
 	}
 }
 

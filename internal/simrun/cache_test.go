@@ -18,7 +18,7 @@ func fakeResult(k Key) *core.Result {
 }
 
 func TestDoMemoises(t *testing.T) {
-	c := NewCache(0)
+	c := NewCache[Key, *core.Result](0)
 	key := Key{Bench: "gzip", Scheme: core.SchemeDCG, Insts: 1000}
 	var runs atomic.Int32
 	fn := func(context.Context) (*core.Result, error) {
@@ -46,7 +46,7 @@ func TestDoMemoises(t *testing.T) {
 
 func TestDoCoalescesConcurrentIdenticalRequests(t *testing.T) {
 	const waiters = 64
-	c := NewCache(0)
+	c := NewCache[Key, *core.Result](0)
 	key := Key{Bench: "mcf", Scheme: core.SchemeDCG, Insts: 5000}
 
 	var runs atomic.Int32
@@ -102,7 +102,7 @@ func TestDoCoalescesConcurrentIdenticalRequests(t *testing.T) {
 }
 
 func TestErrorsAreNotCached(t *testing.T) {
-	c := NewCache(0)
+	c := NewCache[Key, *core.Result](0)
 	key := Key{Bench: "gcc", Scheme: core.SchemeNone, Insts: 100}
 	boom := errors.New("boom")
 	calls := 0
@@ -126,7 +126,7 @@ func TestErrorsAreNotCached(t *testing.T) {
 }
 
 func TestLRUEvictionBoundsResidency(t *testing.T) {
-	c := NewCache(1) // one entry per shard
+	c := NewCache[Key, *core.Result](1) // one entry per shard
 	for i := 0; i < 200; i++ {
 		key := Key{Bench: fmt.Sprintf("b%03d", i), Scheme: core.SchemeDCG, Insts: uint64(i)}
 		if _, _, err := c.Do(context.Background(), key, func(context.Context) (*core.Result, error) {
@@ -145,7 +145,7 @@ func TestLRUEvictionBoundsResidency(t *testing.T) {
 }
 
 func TestCoalescedWaiterHonoursItsOwnContext(t *testing.T) {
-	c := NewCache(0)
+	c := NewCache[Key, *core.Result](0)
 	key := Key{Bench: "art", Scheme: core.SchemeDCG, Insts: 1}
 	release := make(chan struct{})
 	started := make(chan struct{})
@@ -166,7 +166,7 @@ func TestCoalescedWaiterHonoursItsOwnContext(t *testing.T) {
 }
 
 func TestConcurrentMixedKeys(t *testing.T) {
-	c := NewCache(8)
+	c := NewCache[Key, *core.Result](8)
 	keys := make([]Key, 24)
 	for i := range keys {
 		keys[i] = Key{Bench: fmt.Sprintf("k%d", i), Scheme: core.SchemeKind(i % 4), Insts: uint64(i)}

@@ -1,0 +1,118 @@
+package simrun
+
+import (
+	"context"
+
+	"dcg/internal/core"
+)
+
+// Exec is the two-level simulation executor:
+//
+//	level 1 (timings): (workload, machine) → captured timing trace
+//	level 2 (results): (workload, machine, scheme) → evaluated Result
+//
+// A request for a timing-neutral scheme (none, dcg, oracle — anything
+// that cannot perturb the core's cycle-by-cycle behaviour) first consults
+// the result cache, then the timing cache: on a timing hit the scheme is
+// evaluated by replaying the cached trace, which skips the cycle-accurate
+// core entirely. On a timing miss the capture run evaluates the requested
+// scheme while recording, so the first scheme per workload pays no replay
+// on top of its simulation. Schemes that do perturb timing (the PLB
+// variants throttle issue width from IPC feedback) bypass the timing
+// level and always run the full simulation.
+//
+// Both levels coalesce concurrent identical requests, so a burst of
+// scheme evaluations for one workload performs exactly one timing pass.
+type Exec struct {
+	results *Cache[Key, *core.Result]
+	timings *Cache[TimingKey, *core.Timing]
+
+	// Full runs the complete simulation (timing + live scheme). Capture
+	// runs it while recording a trace; Evaluate replays a trace under a
+	// scheme. Exported as seams so tests can count or fake executions;
+	// NewExec installs the production implementations.
+	Full     func(ctx context.Context, k Key) (*core.Result, error)
+	Capture  func(ctx context.Context, k Key) (*core.Result, *core.Timing, error)
+	Evaluate func(k Key, t *core.Timing) (*core.Result, error)
+}
+
+// NewExec builds the production two-level executor. resultCap bounds the
+// result cache and timingCap the timing cache; <= 0 means unbounded.
+// Timing traces are megabytes each (vs kilobytes per result), so serving
+// deployments should keep timingCap small.
+func NewExec(resultCap, timingCap int) *Exec {
+	return &Exec{
+		results:  NewCache[Key, *core.Result](resultCap),
+		timings:  NewCache[TimingKey, *core.Timing](timingCap),
+		Full:     Run,
+		Capture:  Capture,
+		Evaluate: Evaluate,
+	}
+}
+
+// NewSingleLevelExec builds an executor with no timing cache: every miss
+// calls run. It preserves the old one-level behaviour for callers that
+// inject a custom runner (the server's test seam).
+func NewSingleLevelExec(resultCap int, run func(ctx context.Context, k Key) (*core.Result, error)) *Exec {
+	return &Exec{
+		results: NewCache[Key, *core.Result](resultCap),
+		Full:    run,
+	}
+}
+
+// Do returns the result for k, reusing both cache levels. The outcome
+// reports how the call was served: OutcomeHit/OutcomeCoalesced from the
+// result cache, OutcomeReplayed when a cached timing trace was replayed,
+// OutcomeMiss when a full simulation (or capture) ran.
+func (e *Exec) Do(ctx context.Context, k Key) (*core.Result, Outcome, error) {
+	if e.timings == nil || !core.TimingNeutral(k.Scheme) {
+		return e.results.Do(ctx, k, func(ctx context.Context) (*core.Result, error) {
+			return e.Full(ctx, k)
+		})
+	}
+	replayed := false
+	res, out, err := e.results.Do(ctx, k, func(ctx context.Context) (*core.Result, error) {
+		// inline carries the capture run's own evaluation out of the
+		// timing-level closure: when this call is the one that executes
+		// the capture, the requested scheme rode along and no replay is
+		// needed. When the timing level hits (or coalesces with another
+		// scheme's capture), inline stays nil and we replay.
+		var inline *core.Result
+		tm, _, err := e.timings.Do(ctx, k.TimingKey(), func(ctx context.Context) (*core.Timing, error) {
+			r, t, err := e.Capture(ctx, k)
+			inline = r
+			return t, err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if inline != nil {
+			return inline, nil
+		}
+		replayed = true
+		return e.Evaluate(k, tm)
+	})
+	if err == nil && out == OutcomeMiss && replayed {
+		out = OutcomeReplayed
+	}
+	return res, out, err
+}
+
+// Get returns the memoised result for k without executing anything.
+func (e *Exec) Get(k Key) (*core.Result, bool) {
+	return e.results.Get(k)
+}
+
+// ResultStats snapshots the result-level cache counters.
+func (e *Exec) ResultStats() Stats { return e.results.Stats() }
+
+// TimingStats snapshots the timing-level cache counters. Misses count
+// core timing simulations actually executed; hits and coalesced count
+// evaluations that shared a previously captured trace. Zero-valued when
+// the executor is single-level.
+func (e *Exec) TimingStats() Stats {
+	if e.timings == nil {
+		return Stats{}
+	}
+	return e.timings.Stats()
+}

@@ -1,11 +1,14 @@
-// Package simrun is the shared simulation-run layer: a canonical key
-// identifying one deterministic simulation, an executor that runs it, and
-// a sharded, request-coalescing LRU cache over completed results.
+// Package simrun is the shared simulation-run layer: canonical keys
+// identifying deterministic simulation work, executors that run it, and
+// sharded, request-coalescing LRU caches over the completed values.
 //
 // Both batch users (internal/experiments' figure harnesses) and the
 // serving layer (internal/server) memoise runs through this package, so a
 // simulation configuration is only ever executed once per process no
-// matter how many experiments or concurrent requests ask for it.
+// matter how many experiments or concurrent requests ask for it. The
+// two-level Exec goes further: timing-neutral gating schemes (none, dcg,
+// oracle) share one cycle-accurate timing capture per (workload, machine)
+// and differ only in a cheap trace replay.
 package simrun
 
 import (
@@ -15,7 +18,7 @@ import (
 	"dcg/internal/core"
 )
 
-// Key identifies one deterministic simulation run. Two runs with equal
+// Key identifies one deterministic simulation result. Two runs with equal
 // keys produce identical Results (the simulator is fully deterministic),
 // which is what makes memoisation and request coalescing sound.
 type Key struct {
@@ -50,37 +53,99 @@ func (k Key) Machine() config.Config {
 	return m
 }
 
-// hash mixes every field FNV-1a style; the cache uses it to pick a shard.
-func (k Key) hash() uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	for i := 0; i < len(k.Bench); i++ {
-		h ^= uint64(k.Bench[i])
-		h *= prime
+// TimingKey strips the gating scheme from a Key: it identifies the core
+// timing simulation alone. Every timing-neutral scheme evaluated on the
+// same workload and machine shares one TimingKey — and therefore one
+// captured trace in the Exec's timing cache.
+func (k Key) TimingKey() TimingKey {
+	return TimingKey{Bench: k.Bench, Deep: k.Deep, IntALU: k.IntALU, Insts: k.Insts, Warmup: k.Warmup}
+}
+
+// TimingKey identifies one cycle-accurate timing pass: the workload and
+// the machine's timing-relevant configuration, with no gating scheme.
+// (Timing-neutral schemes do not perturb timing, so they never appear
+// here; PLB does and is excluded from the timing cache entirely.)
+type TimingKey struct {
+	Bench  string
+	Deep   bool
+	IntALU int
+	Insts  uint64
+	Warmup uint64
+}
+
+// Machine returns the processor configuration the timing key selects.
+func (k TimingKey) Machine() config.Config {
+	return Key{Bench: k.Bench, Deep: k.Deep, IntALU: k.IntALU, Insts: k.Insts, Warmup: k.Warmup}.Machine()
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
 	}
-	deep := uint64(0)
-	if k.Deep {
-		deep = 1
-	}
-	for _, v := range [...]uint64{uint64(k.Scheme), deep, uint64(k.IntALU), k.Insts, k.Warmup} {
+	return h
+}
+
+func fnvWords(h uint64, words ...uint64) uint64 {
+	for _, v := range words {
 		for s := 0; s < 64; s += 8 {
 			h ^= (v >> s) & 0xff
-			h *= prime
+			h *= fnvPrime
 		}
 	}
 	return h
 }
 
-// Run executes the simulation the key identifies. The context is threaded
-// into the cycle loop: cancellation aborts the run within a few thousand
-// simulated cycles.
-func Run(ctx context.Context, k Key) (*core.Result, error) {
-	sim := core.NewSimulator(k.Machine())
-	if k.Warmup > 0 {
-		sim.Warmup = k.Warmup
+func boolWord(b bool) uint64 {
+	if b {
+		return 1
 	}
-	return sim.RunBenchmarkContext(ctx, k.Bench, k.Scheme, k.Insts)
+	return 0
+}
+
+// Hash mixes every field FNV-1a style; the cache uses it to pick a shard.
+func (k Key) Hash() uint64 {
+	h := fnvString(fnvOffset, k.Bench)
+	return fnvWords(h, uint64(k.Scheme), boolWord(k.Deep), uint64(k.IntALU), k.Insts, k.Warmup)
+}
+
+// Hash mixes every field FNV-1a style; the cache uses it to pick a shard.
+func (k TimingKey) Hash() uint64 {
+	h := fnvString(fnvOffset, k.Bench)
+	return fnvWords(h, boolWord(k.Deep), uint64(k.IntALU), k.Insts, k.Warmup)
+}
+
+func simulatorFor(m config.Config, warmup uint64) *core.Simulator {
+	sim := core.NewSimulator(m)
+	if warmup > 0 {
+		sim.Warmup = warmup
+	}
+	return sim
+}
+
+// Run executes the full simulation the key identifies: core timing with
+// the scheme attached live. The context is threaded into the cycle loop:
+// cancellation aborts the run within a few thousand simulated cycles.
+func Run(ctx context.Context, k Key) (*core.Result, error) {
+	return simulatorFor(k.Machine(), k.Warmup).RunBenchmarkContext(ctx, k.Bench, k.Scheme, k.Insts)
+}
+
+// Capture executes the timing simulation the key identifies while
+// recording its per-cycle usage trace. The returned Result is the
+// evaluation of k.Scheme riding along on the capture run (bit-identical
+// to a direct run); the Timing can then be replayed for any other
+// timing-neutral scheme. Fails for schemes that perturb timing.
+func Capture(ctx context.Context, k Key) (*core.Result, *core.Timing, error) {
+	return simulatorFor(k.Machine(), k.Warmup).RunAndCapture(ctx, k.Bench, k.Scheme, k.Insts)
+}
+
+// Evaluate replays a captured timing trace under the key's scheme. The
+// result is bit-identical to a full run with the same key.
+func Evaluate(k Key, t *core.Timing) (*core.Result, error) {
+	return simulatorFor(t.Machine, k.Warmup).EvaluateTiming(t, k.Scheme)
 }

@@ -1,0 +1,103 @@
+package usagetrace
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"dcg/internal/cpu"
+)
+
+// Trace is a complete, validated capture held in memory: the encoded
+// stream plus its header metadata. It is immutable after construction —
+// any number of replays (Reader/Replay) may run over it concurrently,
+// which is what lets one timing pass serve many scheme evaluations.
+type Trace struct {
+	name   string
+	stages int
+	cycles uint64
+	data   []byte
+}
+
+// Name returns the traced workload's name.
+func (t *Trace) Name() string { return t.name }
+
+// BackLatchStages returns the machine's gatable back-end latch stage count.
+func (t *Trace) BackLatchStages() int { return t.stages }
+
+// Cycles returns the number of captured cycles.
+func (t *Trace) Cycles() uint64 { return t.cycles }
+
+// SizeBytes returns the encoded size (the residency cost of caching the
+// trace).
+func (t *Trace) SizeBytes() int { return len(t.data) }
+
+// Reader opens a fresh decoder over the trace. Safe to call concurrently;
+// each reader has independent state.
+func (t *Trace) Reader() (*Reader, error) {
+	return NewReader(bytes.NewReader(t.data))
+}
+
+// WriteTo serialises the trace (header, records, end marker) to w, so a
+// capture can be persisted and later reloaded with ReadTrace.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	n, err := w.Write(t.data)
+	return int64(n), err
+}
+
+// ReadTrace loads and fully validates an encoded trace: the whole stream
+// is decoded once, so truncation, corruption, or a version mismatch fails
+// here rather than mid-replay.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("usagetrace: %w", err)
+	}
+	rd, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	cycles, err := Replay(rd, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{name: rd.Name(), stages: rd.BackLatchStages(), cycles: cycles, data: data}, nil
+}
+
+// Recorder captures a run into an in-memory Trace. It implements
+// cpu.Observer and cpu.IssueListener by delegating to a Writer over an
+// in-memory buffer; Trace() finalises the stream.
+type Recorder struct {
+	buf bytes.Buffer
+	w   *Writer
+}
+
+// NewRecorder starts an in-memory capture for the named workload.
+func NewRecorder(name string, backLatchStages int) (*Recorder, error) {
+	rec := &Recorder{}
+	w, err := NewWriter(&rec.buf, name, backLatchStages)
+	if err != nil {
+		return nil, err
+	}
+	rec.w = w
+	return rec, nil
+}
+
+// OnIssue implements cpu.IssueListener.
+func (r *Recorder) OnIssue(ev cpu.IssueEvent) { r.w.OnIssue(ev) }
+
+// OnCycle implements cpu.Observer.
+func (r *Recorder) OnCycle(u *cpu.Usage) { r.w.OnCycle(u) }
+
+// Trace closes the stream and returns the completed capture.
+func (r *Recorder) Trace() (*Trace, error) {
+	if err := r.w.Close(); err != nil {
+		return nil, err
+	}
+	return &Trace{
+		name:   r.w.name,
+		stages: r.w.stages,
+		cycles: r.w.Cycles(),
+		data:   r.buf.Bytes(),
+	}, nil
+}

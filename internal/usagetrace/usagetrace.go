@@ -1,0 +1,440 @@
+// Package usagetrace captures the timing pass of a simulation — the
+// per-cycle cpu.Usage vectors plus the issue-stage GRANT events — in a
+// compact binary stream, so gating and power evaluation can replay the
+// execution without re-simulating the core.
+//
+// The paper's schemes are deterministic and timing-neutral: the baseline,
+// DCG (and every DCG ablation), and the Oracle headroom scheme never
+// change when instructions issue, so they all see byte-identical usage
+// and event streams. Capturing that stream once per (workload,
+// machine-timing) turns every additional scheme evaluation into a
+// memory-bandwidth replay (internal/core.Simulator.EvaluateTiming).
+//
+// # Format
+//
+// A trace is a header followed by one record per cycle and a terminating
+// end marker. All integers are unsigned varints (encoding/binary) unless
+// noted; cycle numbers are implicit (record index == cycle, measured
+// regions always start at cycle 0).
+//
+//	header:  "DCGU" | version byte | name length byte | name |
+//	         uvarint backLatchStages
+//	cycle:   0x01 tag | uvarint eventCount | events... | usage
+//	event:   flags byte (bit0 hasFU, bit1 isLoad, bit2 isStore,
+//	         bit3 writesReg, bits4-5 FUType) |
+//	         [hasFU: uvarint fuIdx, fuStart-cycle, fuLat] |
+//	         [isLoad|isStore: uvarint dportCycle-cycle] |
+//	         [writesReg: uvarint resultBusCycle-cycle]
+//	usage:   uvarint issue, fpIssue, memIssue, intALUBusy, intMultBusy,
+//	         fpALUBusy, fpMultBusy, dportUsed, resultBus, commit, fetch |
+//	         zigzag varint windowOccupancy delta | uvarint backLatch[stage]...
+//	end:     0x00 tag | uvarint total cycle count
+//
+// Event timing fields are stored as deltas from the event's select cycle
+// (they always lie a small, bounded distance in the future — that is the
+// paper's determinism property), and window occupancy as a signed delta
+// from the previous cycle, so typical cycles encode in a few bytes. The
+// end marker carries the cycle count so a truncated or corrupt stream
+// fails loudly instead of reading as a shorter run.
+package usagetrace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dcg/internal/cpu"
+)
+
+const (
+	traceMagic   = "DCGU"
+	traceVersion = 1
+
+	tagCycle = 0x01
+	tagEnd   = 0x00
+
+	flagHasFU     = 1 << 0
+	flagIsLoad    = 1 << 1
+	flagIsStore   = 1 << 2
+	flagWritesReg = 1 << 3
+	fuTypeShift   = 4
+)
+
+// Writer serialises a capture stream. It implements cpu.Observer and
+// cpu.IssueListener, so a capturing run installs it (via the cpu fan-out
+// types) next to the power accountant and the gating scheme: issue events
+// are buffered as they fire and flushed into the cycle's record when the
+// usage vector arrives, preserving the core's events-then-usage delivery
+// order for replay.
+//
+// Errors from the underlying writer are latched; Close (or Err) surfaces
+// the first one.
+type Writer struct {
+	w      *bufio.Writer
+	name   string
+	stages int
+
+	pending []cpu.IssueEvent
+	scratch []byte
+	cycles  uint64
+	lastOcc int64
+
+	err    error
+	closed bool
+}
+
+// NewWriter writes the header for a trace of the named workload on a
+// machine with backLatchStages gatable back-end latch stages.
+func NewWriter(w io.Writer, name string, backLatchStages int) (*Writer, error) {
+	if len(name) > 255 {
+		return nil, fmt.Errorf("usagetrace: workload name too long")
+	}
+	if backLatchStages < 0 {
+		return nil, fmt.Errorf("usagetrace: negative latch stage count")
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(traceVersion); err != nil {
+		return nil, err
+	}
+	if err := bw.WriteByte(byte(len(name))); err != nil {
+		return nil, err
+	}
+	if _, err := bw.WriteString(name); err != nil {
+		return nil, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(backLatchStages))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, name: name, stages: backLatchStages, scratch: make([]byte, 0, 256)}, nil
+}
+
+// OnIssue implements cpu.IssueListener: the event is buffered until the
+// cycle's usage vector closes the record.
+func (t *Writer) OnIssue(ev cpu.IssueEvent) {
+	if t.err != nil || t.closed {
+		return
+	}
+	t.pending = append(t.pending, ev)
+}
+
+// OnCycle implements cpu.Observer: it writes the cycle record (buffered
+// events first, then the usage vector) and releases the event buffer.
+func (t *Writer) OnCycle(u *cpu.Usage) {
+	if t.err != nil || t.closed {
+		return
+	}
+	if u.Cycle != t.cycles {
+		t.err = fmt.Errorf("usagetrace: non-contiguous cycle %d (expected %d)", u.Cycle, t.cycles)
+		return
+	}
+	if len(u.BackLatch) != t.stages {
+		t.err = fmt.Errorf("usagetrace: usage has %d latch stages, trace declares %d",
+			len(u.BackLatch), t.stages)
+		return
+	}
+
+	b := t.scratch[:0]
+	b = append(b, tagCycle)
+	b = binary.AppendUvarint(b, uint64(len(t.pending)))
+	for i := range t.pending {
+		b = appendEvent(b, &t.pending[i], u.Cycle)
+	}
+	b = binary.AppendUvarint(b, uint64(u.IssueCount))
+	b = binary.AppendUvarint(b, uint64(u.FPIssueCount))
+	b = binary.AppendUvarint(b, uint64(u.MemIssueCount))
+	b = binary.AppendUvarint(b, uint64(u.IntALUBusy))
+	b = binary.AppendUvarint(b, uint64(u.IntMultBusy))
+	b = binary.AppendUvarint(b, uint64(u.FPALUBusy))
+	b = binary.AppendUvarint(b, uint64(u.FPMultBusy))
+	b = binary.AppendUvarint(b, uint64(u.DPortUsed))
+	b = binary.AppendUvarint(b, uint64(u.ResultBus))
+	b = binary.AppendUvarint(b, uint64(u.CommitCount))
+	b = binary.AppendUvarint(b, uint64(u.FetchCount))
+	b = binary.AppendVarint(b, int64(u.WindowOccupancy)-t.lastOcc)
+	for _, n := range u.BackLatch {
+		b = binary.AppendUvarint(b, uint64(n))
+	}
+	t.scratch = b
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+		return
+	}
+	t.lastOcc = int64(u.WindowOccupancy)
+	t.pending = t.pending[:0]
+	t.cycles++
+}
+
+// appendEvent encodes one issue event; future cycles are stored as deltas
+// from the select cycle.
+func appendEvent(b []byte, ev *cpu.IssueEvent, cycle uint64) []byte {
+	var flags byte
+	if ev.FUIdx >= 0 {
+		flags |= flagHasFU | byte(ev.FUType)<<fuTypeShift
+	}
+	if ev.IsLoad {
+		flags |= flagIsLoad
+	}
+	if ev.IsStore {
+		flags |= flagIsStore
+	}
+	if ev.WritesReg {
+		flags |= flagWritesReg
+	}
+	b = append(b, flags)
+	if ev.FUIdx >= 0 {
+		b = binary.AppendUvarint(b, uint64(ev.FUIdx))
+		b = binary.AppendUvarint(b, ev.FUStart-cycle)
+		b = binary.AppendUvarint(b, uint64(ev.FULat))
+	}
+	if ev.IsLoad || ev.IsStore {
+		b = binary.AppendUvarint(b, ev.DPortCycle-cycle)
+	}
+	if ev.WritesReg {
+		b = binary.AppendUvarint(b, ev.ResultBusCycle-cycle)
+	}
+	return b
+}
+
+// Cycles returns the number of cycle records written so far.
+func (t *Writer) Cycles() uint64 { return t.cycles }
+
+// Err returns the first latched write error.
+func (t *Writer) Err() error { return t.err }
+
+// Close writes the end marker (tag + total cycle count) and flushes.
+// Events buffered for a cycle whose usage vector never arrived are a
+// capture bug and fail the close.
+func (t *Writer) Close() error {
+	if t.closed {
+		return t.err
+	}
+	t.closed = true
+	if t.err != nil {
+		return t.err
+	}
+	if len(t.pending) > 0 {
+		t.err = fmt.Errorf("usagetrace: %d issue events buffered past the last cycle record", len(t.pending))
+		return t.err
+	}
+	b := t.scratch[:0]
+	b = append(b, tagEnd)
+	b = binary.AppendUvarint(b, t.cycles)
+	if _, err := t.w.Write(b); err != nil {
+		t.err = err
+		return t.err
+	}
+	t.err = t.w.Flush()
+	return t.err
+}
+
+// Reader decodes a capture stream cycle by cycle. The usage vector and
+// event slice returned by Next are reused between calls — the same
+// contract the live core imposes on its observers.
+type Reader struct {
+	r      *bufio.Reader
+	name   string
+	stages int
+
+	u      cpu.Usage
+	events []cpu.IssueEvent
+
+	cycle   uint64
+	lastOcc int64
+	done    bool
+}
+
+// NewReader parses the header and positions the reader at cycle 0.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(traceMagic)+2)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("usagetrace: short header: %w", err)
+	}
+	if string(head[:len(traceMagic)]) != traceMagic {
+		return nil, fmt.Errorf("usagetrace: bad magic %q (not a usage trace)", head[:len(traceMagic)])
+	}
+	if v := head[len(traceMagic)]; v != traceVersion {
+		return nil, fmt.Errorf("usagetrace: unsupported version %d (reader speaks %d)", v, traceVersion)
+	}
+	name := make([]byte, int(head[len(traceMagic)+1]))
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("usagetrace: short name: %w", err)
+	}
+	stages, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("usagetrace: short header (latch stages): %w", err)
+	}
+	rd := &Reader{r: br, name: string(name), stages: int(stages)}
+	rd.u.BackLatch = make([]int, stages)
+	return rd, nil
+}
+
+// Name returns the traced workload's name.
+func (r *Reader) Name() string { return r.name }
+
+// BackLatchStages returns the machine's gatable back-end latch stage
+// count (the fixed BackLatch slice length).
+func (r *Reader) BackLatchStages() int { return r.stages }
+
+// Next decodes the next cycle: its issue events (in capture order) and
+// its usage vector. Both point into buffers reused by the following Next.
+// A clean end of trace returns io.EOF; truncation or corruption returns a
+// descriptive error instead.
+func (r *Reader) Next() ([]cpu.IssueEvent, *cpu.Usage, error) {
+	if r.done {
+		return nil, nil, io.EOF
+	}
+	tag, err := r.r.ReadByte()
+	if err != nil {
+		return nil, nil, fmt.Errorf("usagetrace: truncated at cycle %d (missing end marker): %w", r.cycle, err)
+	}
+	switch tag {
+	case tagEnd:
+		declared, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("usagetrace: truncated end marker: %w", err)
+		}
+		if declared != r.cycle {
+			return nil, nil, fmt.Errorf("usagetrace: end marker declares %d cycles but %d were read", declared, r.cycle)
+		}
+		if _, err := r.r.ReadByte(); err != io.EOF {
+			return nil, nil, fmt.Errorf("usagetrace: trailing data after end marker")
+		}
+		r.done = true
+		return nil, nil, io.EOF
+	case tagCycle:
+	default:
+		return nil, nil, fmt.Errorf("usagetrace: corrupt record tag 0x%02x at cycle %d", tag, r.cycle)
+	}
+
+	nev, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("usagetrace: truncated at cycle %d: %w", r.cycle, err)
+	}
+	if nev > 1<<16 {
+		return nil, nil, fmt.Errorf("usagetrace: corrupt event count %d at cycle %d", nev, r.cycle)
+	}
+	r.events = r.events[:0]
+	for i := uint64(0); i < nev; i++ {
+		ev, err := r.readEvent()
+		if err != nil {
+			return nil, nil, fmt.Errorf("usagetrace: truncated event at cycle %d: %w", r.cycle, err)
+		}
+		r.events = append(r.events, ev)
+	}
+
+	u := &r.u
+	u.Cycle = r.cycle
+	fields := [...]*int{
+		&u.IssueCount, &u.FPIssueCount, &u.MemIssueCount,
+		nil, nil, nil, nil, // FU masks, read separately below
+		&u.DPortUsed, &u.ResultBus, &u.CommitCount, &u.FetchCount,
+	}
+	masks := [...]*uint32{&u.IntALUBusy, &u.IntMultBusy, &u.FPALUBusy, &u.FPMultBusy}
+	mi := 0
+	for _, f := range fields {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("usagetrace: truncated usage at cycle %d: %w", r.cycle, err)
+		}
+		if f != nil {
+			*f = int(v)
+		} else {
+			*masks[mi] = uint32(v)
+			mi++
+		}
+	}
+	occDelta, err := binary.ReadVarint(r.r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("usagetrace: truncated usage at cycle %d: %w", r.cycle, err)
+	}
+	r.lastOcc += occDelta
+	u.WindowOccupancy = int(r.lastOcc)
+	for s := range u.BackLatch {
+		v, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return nil, nil, fmt.Errorf("usagetrace: truncated usage at cycle %d: %w", r.cycle, err)
+		}
+		u.BackLatch[s] = int(v)
+	}
+
+	r.cycle++
+	return r.events, u, nil
+}
+
+// readEvent decodes one issue event for the current cycle.
+func (r *Reader) readEvent() (cpu.IssueEvent, error) {
+	ev := cpu.IssueEvent{Cycle: r.cycle, FUIdx: -1}
+	flags, err := r.r.ReadByte()
+	if err != nil {
+		return ev, err
+	}
+	if flags&flagHasFU != 0 {
+		ev.FUType = cpu.FUType(flags >> fuTypeShift)
+		idx, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return ev, err
+		}
+		ev.FUIdx = int(idx)
+		d, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return ev, err
+		}
+		ev.FUStart = r.cycle + d
+		lat, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return ev, err
+		}
+		ev.FULat = int(lat)
+	}
+	ev.IsLoad = flags&flagIsLoad != 0
+	ev.IsStore = flags&flagIsStore != 0
+	if ev.IsLoad || ev.IsStore {
+		d, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return ev, err
+		}
+		ev.DPortCycle = r.cycle + d
+	}
+	if flags&flagWritesReg != 0 {
+		ev.WritesReg = true
+		d, err := binary.ReadUvarint(r.r)
+		if err != nil {
+			return ev, err
+		}
+		ev.ResultBusCycle = r.cycle + d
+	}
+	return ev, nil
+}
+
+// Replay streams the trace through a gating scheme and an observer in the
+// core's delivery order: each cycle's issue events (lis.OnIssue) strictly
+// before its usage vector (obs.OnCycle). Either consumer may be nil. It
+// returns the replayed cycle count.
+func Replay(r *Reader, lis cpu.IssueListener, obs cpu.Observer) (uint64, error) {
+	var cycles uint64
+	for {
+		events, u, err := r.Next()
+		if err == io.EOF {
+			return cycles, nil
+		}
+		if err != nil {
+			return cycles, err
+		}
+		if lis != nil {
+			for _, ev := range events {
+				lis.OnIssue(ev)
+			}
+		}
+		if obs != nil {
+			obs.OnCycle(u)
+		}
+		cycles++
+	}
+}
