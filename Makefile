@@ -1,7 +1,8 @@
 # Standard checks for the godcg repository.
 #
-#   make check   - what CI runs: vet + full test suite under the race
+#   make check   - what CI runs: lint + full test suite under the race
 #                  detector (includes the server/simrun concurrency tests)
+#   make lint    - go vet + gofmt -l (fails on unformatted files)
 #   make test    - fast suite, no race detector
 #   make bench   - the per-figure and substrate micro-benchmarks
 #   make bench-json - the same benchmarks as machine-readable JSON
@@ -10,9 +11,15 @@
 
 GO ?= go
 
-.PHONY: check vet test race bench bench-json build serve
+.PHONY: check lint vet fmt-check test race bench bench-json build serve
 
-check: vet race
+check: lint race
+
+lint: vet fmt-check
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...

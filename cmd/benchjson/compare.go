@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Delta is one benchmark's old-vs-new comparison.
+type Delta struct {
+	// Key is "pkg/Name" (or just the name when the package is unknown).
+	Key string
+
+	// Old and New are the compared metric values.
+	Old, New float64
+
+	// Ratio is (New-Old)/Old: positive = slower for time-like metrics.
+	Ratio float64
+
+	// Regression marks deltas beyond the threshold.
+	Regression bool
+}
+
+// CompareResult is the outcome of comparing two reports.
+type CompareResult struct {
+	Deltas []Delta
+
+	// MissingInNew lists benchmarks present in the old report only
+	// (renamed or deleted — compared against nothing).
+	MissingInNew []string
+
+	// OnlyInNew lists benchmarks with no old counterpart.
+	OnlyInNew []string
+
+	// NoMetric lists benchmarks lacking the compared metric on either side.
+	NoMetric []string
+}
+
+// Regressions counts deltas beyond the threshold.
+func (r *CompareResult) Regressions() int {
+	n := 0
+	for _, d := range r.Deltas {
+		if d.Regression {
+			n++
+		}
+	}
+	return n
+}
+
+func benchKey(b Benchmark) string {
+	if b.Pkg == "" {
+		return b.Name
+	}
+	return b.Pkg + "/" + b.Name
+}
+
+// compareReports diffs two reports on one metric. A benchmark regresses
+// when its metric grew by more than threshold (relative): with the
+// default ns/op, larger is slower.
+func compareReports(old, new *Report, metric string, threshold float64) *CompareResult {
+	res := &CompareResult{}
+	oldBy := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[benchKey(b)] = b
+	}
+	seen := make(map[string]bool, len(new.Benchmarks))
+	for _, nb := range new.Benchmarks {
+		key := benchKey(nb)
+		seen[key] = true
+		ob, ok := oldBy[key]
+		if !ok {
+			res.OnlyInNew = append(res.OnlyInNew, key)
+			continue
+		}
+		ov, okOld := ob.Metrics[metric]
+		nv, okNew := nb.Metrics[metric]
+		if !okOld || !okNew || ov == 0 {
+			res.NoMetric = append(res.NoMetric, key)
+			continue
+		}
+		ratio := (nv - ov) / ov
+		res.Deltas = append(res.Deltas, Delta{
+			Key: key, Old: ov, New: nv, Ratio: ratio,
+			Regression: ratio > threshold,
+		})
+	}
+	for key := range oldBy {
+		if !seen[key] {
+			res.MissingInNew = append(res.MissingInNew, key)
+		}
+	}
+	sort.Slice(res.Deltas, func(i, j int) bool { return res.Deltas[i].Ratio > res.Deltas[j].Ratio })
+	sort.Strings(res.MissingInNew)
+	sort.Strings(res.OnlyInNew)
+	sort.Strings(res.NoMetric)
+	return res
+}
+
+func loadReport(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var rep Report
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// runCompare implements `benchjson -compare old.json new.json`: it prints
+// a delta table and returns the process exit code (1 when any benchmark
+// regressed beyond the threshold, 0 otherwise).
+func runCompare(w io.Writer, oldPath, newPath, metric string, threshold float64) int {
+	old, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	new, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	res := compareReports(old, new, metric, threshold)
+
+	fmt.Fprintf(w, "comparing %s (threshold %+.0f%%)\n", metric, 100*threshold)
+	for _, d := range res.Deltas {
+		mark := " "
+		if d.Regression {
+			mark = "!"
+		}
+		fmt.Fprintf(w, "%s %-60s %14.1f -> %14.1f  %+7.1f%%\n",
+			mark, d.Key, d.Old, d.New, 100*d.Ratio)
+	}
+	for _, k := range res.NoMetric {
+		fmt.Fprintf(w, "? %-60s metric %s missing on one side\n", k, metric)
+	}
+	for _, k := range res.MissingInNew {
+		fmt.Fprintf(w, "- %s (in old report only)\n", k)
+	}
+	for _, k := range res.OnlyInNew {
+		fmt.Fprintf(w, "+ %s (new benchmark)\n", k)
+	}
+	if n := res.Regressions(); n > 0 {
+		fmt.Fprintf(w, "FAIL: %d benchmark(s) regressed more than %.0f%%\n", n, 100*threshold)
+		return 1
+	}
+	fmt.Fprintf(w, "ok: %d benchmark(s) within threshold\n", len(res.Deltas))
+	return 0
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkBench(pkg, name string, nsop float64) Benchmark {
+	return Benchmark{
+		Name: name, Pkg: pkg, Iterations: 100,
+		Metrics: map[string]float64{"ns/op": nsop},
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	old := &Report{Benchmarks: []Benchmark{
+		mkBench("dcg/internal/core", "RunDCG-8", 1000),
+		mkBench("dcg/internal/core", "RunNone-8", 1000),
+		mkBench("dcg/internal/core", "Removed-8", 500),
+		mkBench("dcg/internal/simrun", "Replay-8", 200),
+	}}
+	new := &Report{Benchmarks: []Benchmark{
+		mkBench("dcg/internal/core", "RunDCG-8", 1200),  // +20%: regression at 10%
+		mkBench("dcg/internal/core", "RunNone-8", 1050), // +5%: within threshold
+		mkBench("dcg/internal/core", "Added-8", 700),
+		{Name: "Replay-8", Pkg: "dcg/internal/simrun", Iterations: 1,
+			Metrics: map[string]float64{"B/op": 42}}, // ns/op missing
+	}}
+
+	res := compareReports(old, new, "ns/op", 0.10)
+	if got := res.Regressions(); got != 1 {
+		t.Fatalf("regressions = %d, want 1: %+v", got, res.Deltas)
+	}
+	if len(res.Deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(res.Deltas))
+	}
+	// Deltas are sorted worst-first.
+	if d := res.Deltas[0]; d.Key != "dcg/internal/core/RunDCG-8" || !d.Regression {
+		t.Errorf("worst delta = %+v, want the RunDCG regression", d)
+	}
+	if d := res.Deltas[1]; d.Regression {
+		t.Errorf("+5%% flagged as regression: %+v", d)
+	}
+	if len(res.MissingInNew) != 1 || res.MissingInNew[0] != "dcg/internal/core/Removed-8" {
+		t.Errorf("missing = %v", res.MissingInNew)
+	}
+	if len(res.OnlyInNew) != 1 || res.OnlyInNew[0] != "dcg/internal/core/Added-8" {
+		t.Errorf("new-only = %v", res.OnlyInNew)
+	}
+	if len(res.NoMetric) != 1 || res.NoMetric[0] != "dcg/internal/simrun/Replay-8" {
+		t.Errorf("no-metric = %v", res.NoMetric)
+	}
+}
+
+func TestCompareMatchesAcrossPackages(t *testing.T) {
+	// Same benchmark name in two packages must not cross-match.
+	old := &Report{Benchmarks: []Benchmark{
+		mkBench("pkg/a", "Run-8", 100),
+		mkBench("pkg/b", "Run-8", 1000),
+	}}
+	new := &Report{Benchmarks: []Benchmark{
+		mkBench("pkg/a", "Run-8", 100),
+		mkBench("pkg/b", "Run-8", 1000),
+	}}
+	res := compareReports(old, new, "ns/op", 0.10)
+	if len(res.Deltas) != 2 || res.Regressions() != 0 {
+		t.Fatalf("identical reports: %+v", res)
+	}
+	for _, d := range res.Deltas {
+		if d.Ratio != 0 {
+			t.Errorf("delta %s ratio = %v, want 0", d.Key, d.Ratio)
+		}
+	}
+}
+
+func TestCompareImprovementIsNotRegression(t *testing.T) {
+	old := &Report{Benchmarks: []Benchmark{mkBench("p", "Fast-8", 1000)}}
+	new := &Report{Benchmarks: []Benchmark{mkBench("p", "Fast-8", 400)}}
+	res := compareReports(old, new, "ns/op", 0.10)
+	if res.Regressions() != 0 {
+		t.Errorf("a 60%% speedup counted as regression: %+v", res.Deltas)
+	}
+}
+
+func writeReport(t *testing.T, dir, name string, rep *Report) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCompareExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeReport(t, dir, "old.json", &Report{Benchmarks: []Benchmark{
+		mkBench("p", "X-8", 100),
+	}})
+	okPath := writeReport(t, dir, "ok.json", &Report{Benchmarks: []Benchmark{
+		mkBench("p", "X-8", 105),
+	}})
+	badPath := writeReport(t, dir, "bad.json", &Report{Benchmarks: []Benchmark{
+		mkBench("p", "X-8", 200),
+	}})
+
+	var out strings.Builder
+	if code := runCompare(&out, oldPath, okPath, "ns/op", 0.10); code != 0 {
+		t.Errorf("within-threshold compare exited %d:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "ok:") {
+		t.Errorf("missing ok summary:\n%s", out.String())
+	}
+
+	out.Reset()
+	if code := runCompare(&out, oldPath, badPath, "ns/op", 0.10); code != 1 {
+		t.Errorf("2x regression exited %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "FAIL:") {
+		t.Errorf("missing FAIL summary:\n%s", out.String())
+	}
+
+	// A generous threshold tolerates the same delta.
+	out.Reset()
+	if code := runCompare(&out, oldPath, badPath, "ns/op", 2.0); code != 0 {
+		t.Errorf("2x regression under 200%% threshold exited %d, want 0", code)
+	}
+
+	// Unreadable input is an operational error, not a regression.
+	if code := runCompare(&out, filepath.Join(dir, "nope.json"), okPath, "ns/op", 0.10); code != 2 {
+		t.Errorf("missing file exited %d, want 2", code)
+	}
+}

@@ -5,15 +5,22 @@
 //
 //	go test -bench=. -benchmem -run='^$' ./... | benchjson > BENCH.json
 //	make bench-json
+//	benchjson -compare [-threshold 0.10] [-metric ns/op] old.json new.json
 //
 // Each benchmark line ("BenchmarkName  N  v1 unit1  v2 unit2 ...")
 // becomes one entry with its iteration count and a unit → value metric
 // map; the goos/goarch/cpu/pkg header lines are carried through once.
+//
+// With -compare, two previously converted reports are diffed instead:
+// benchmarks are matched by package + name, and the process exits
+// non-zero when any matched benchmark's metric grew by more than the
+// threshold (CI regression gating).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -47,6 +54,21 @@ type Report struct {
 }
 
 func main() {
+	var (
+		compare   = flag.Bool("compare", false, "diff two converted reports: benchjson -compare old.json new.json")
+		threshold = flag.Float64("threshold", 0.10, "relative regression threshold for -compare (0.10 = 10%)")
+		metric    = flag.String("metric", "ns/op", "metric to compare with -compare")
+	)
+	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files (old new)")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *metric, *threshold))
+	}
+
 	rep, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

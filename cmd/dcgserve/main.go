@@ -6,10 +6,12 @@
 //
 //	dcgserve [-addr :8080] [-workers N] [-cache 1024] [-timing-cache 16]
 //	         [-default-insts 300000] [-max-insts 5000000] [-timeout 60s]
+//	         [-log-level info] [-log-format text] [-pprof] [-enable-trace]
 //
 // Try it:
 //
 //	curl localhost:8080/v1/sim?benchmark=gzip&scheme=dcg
+//	curl localhost:8080/metrics
 package main
 
 import (
@@ -17,15 +19,34 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"dcg/internal/server"
 )
+
+// newLogger builds the process logger from the -log-level/-log-format
+// flags. Logs go to stderr; stdout stays clean for tooling.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
+}
 
 func main() {
 	var (
@@ -37,8 +58,18 @@ func main() {
 		maxInsts     = flag.Uint64("max-insts", 5_000_000, "reject requests above this instruction count")
 		timeout      = flag.Duration("timeout", 60*time.Second, "per-request simulation deadline")
 		drainWait    = flag.Duration("drain-wait", 30*time.Second, "shutdown grace period for in-flight requests")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
+		logFormat    = flag.String("log-format", "text", "log encoding: text or json")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		traceOn      = flag.Bool("enable-trace", false, "mount /v1/trace (uncached, fully instrumented simulations)")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcgserve:", err)
+		os.Exit(2)
+	}
 
 	srv := server.New(server.Config{
 		Workers:         *workers,
@@ -47,6 +78,9 @@ func main() {
 		DefaultInsts:    *defaultInsts,
 		MaxInsts:        *maxInsts,
 		DefaultTimeout:  *timeout,
+		Logger:          logger,
+		EnablePprof:     *pprofOn,
+		EnableTrace:     *traceOn,
 	})
 
 	httpSrv := &http.Server{
@@ -57,7 +91,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("dcgserve listening on %s", *addr)
+		logger.Info("dcgserve listening", "addr", *addr,
+			"pprof", *pprofOn, "trace", *traceOn)
 		errc <- httpSrv.ListenAndServe()
 	}()
 
@@ -66,9 +101,10 @@ func main() {
 
 	select {
 	case err := <-errc:
-		log.Fatalf("serve: %v", err)
+		logger.Error("serve failed", "err", err)
+		os.Exit(1)
 	case sig := <-sigc:
-		log.Printf("got %v; draining (grace %v)", sig, *drainWait)
+		logger.Info("draining", "signal", sig.String(), "grace", drainWait.String())
 	}
 
 	// Graceful shutdown: flip /healthz to 503 so load balancers rotate
@@ -79,12 +115,12 @@ func main() {
 	defer cancel()
 	go func() {
 		<-sigc
-		log.Print("second signal; aborting")
+		logger.Warn("second signal; aborting")
 		cancel()
 	}()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "shutdown: %v\n", err)
 		os.Exit(1)
 	}
-	log.Print("drained; bye")
+	logger.Info("drained; bye")
 }

@@ -9,6 +9,7 @@
 //	dcgsim -bench gcc -scheme dcg -n 500000
 //	dcgsim -bench all -scheme none,dcg,oracle -n 200000
 //	dcgsim -bench mcf -scheme plb-ext -deep -v
+//	dcgsim -bench gzip -scheme dcg -trace-out gzip.trace.json
 package main
 
 import (
@@ -17,7 +18,9 @@ import (
 	"os"
 	"strings"
 
+	"dcg/internal/config"
 	"dcg/internal/core"
+	"dcg/internal/obs"
 	"dcg/internal/power"
 	"dcg/internal/stats"
 	"dcg/internal/trace"
@@ -34,6 +37,10 @@ func main() {
 		record  = flag.String("record", "", "capture the benchmark's dynamic stream to a trace file and exit")
 		replay  = flag.String("replay", "", "simulate a previously recorded trace file instead of a benchmark")
 		profile = flag.String("profile", "", "run a custom workload profile from a JSON file")
+
+		traceOut    = flag.String("trace-out", "", "write pipeline telemetry as Chrome trace-event JSON (Perfetto-viewable); single -bench and -scheme")
+		traceCSV    = flag.String("trace-csv", "", "write pipeline telemetry as per-window CSV; single -bench and -scheme")
+		traceWindow = flag.Uint64("trace-window", obs.DefaultTraceWindow, "telemetry sample window in cycles")
 	)
 	flag.Parse()
 
@@ -57,6 +64,25 @@ func main() {
 		machine = core.DeepMachine()
 	}
 	sim := core.NewSimulator(machine)
+
+	if *traceOut != "" || *traceCSV != "" {
+		switch {
+		case len(kinds) > 1:
+			fmt.Fprintln(os.Stderr, "dcgsim: -trace-out/-trace-csv take a single -scheme")
+			os.Exit(2)
+		case *bench == "all" || *bench == "int" || *bench == "fp":
+			fmt.Fprintln(os.Stderr, "dcgsim: -trace-out/-trace-csv take a single -bench name")
+			os.Exit(2)
+		case *record != "" || *replay != "" || *profile != "":
+			fmt.Fprintln(os.Stderr, "dcgsim: -trace-out/-trace-csv cannot combine with -record/-replay/-profile")
+			os.Exit(2)
+		}
+		if err := runPipeTrace(sim, machine, *bench, kind, *n, *traceOut, *traceCSV, *traceWindow, *verbose); err != nil {
+			fmt.Fprintln(os.Stderr, "dcgsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *record != "" {
 		if err := recordTrace(*record, *bench, *n); err != nil {
@@ -166,6 +192,47 @@ func runSchemes(sim *core.Simulator, bench string, kinds []core.SchemeKind, n ui
 		}
 	}
 	return out, nil
+}
+
+// runPipeTrace runs one benchmark under one scheme with the pipeline
+// telemetry recorder attached and writes the requested exports: Chrome
+// trace-event JSON (jsonPath) and/or per-window CSV (csvPath).
+func runPipeTrace(sim *core.Simulator, machine config.Config, bench string, kind core.SchemeKind, n uint64, jsonPath, csvPath string, window uint64, verbose bool) error {
+	rec := obs.NewPipelineRecorder(machine, window, bench+"/"+kind.String())
+	sim.Telemetry = rec
+	defer func() { sim.Telemetry = nil }()
+	res, err := sim.RunBenchmark(bench, kind, n)
+	if err != nil {
+		return err
+	}
+	write := func(path string, render func(w *os.File) error) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := render(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if jsonPath != "" {
+		if err := write(jsonPath, func(f *os.File) error { return rec.WriteChromeTrace(f) }); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace windows (%d cycles each) to %s\n", rec.Windows(), window, jsonPath)
+	}
+	if csvPath != "" {
+		if err := write(csvPath, func(f *os.File) error { return rec.WriteCSV(f) }); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d telemetry rows to %s\n", rec.Windows(), csvPath)
+	}
+	fmt.Print(res.Summary())
+	if verbose {
+		fmt.Println(res.Energy.String())
+	}
+	return nil
 }
 
 // recordTrace captures a benchmark's dynamic stream to a trace file.

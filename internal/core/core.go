@@ -14,11 +14,14 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
+	"time"
 
 	"dcg/internal/config"
 	"dcg/internal/cpu"
 	"dcg/internal/gating"
+	"dcg/internal/obs"
 	"dcg/internal/power"
 	"dcg/internal/trace"
 	"dcg/internal/usagetrace"
@@ -249,6 +252,23 @@ type Simulator struct {
 	// structures still burn this fraction of their dynamic power.
 	// Default 0, as in the paper (section 4.2).
 	LeakageFrac float64
+
+	// Telemetry, when non-nil, observes the measured region: it receives
+	// every per-cycle usage vector (after any trace writer, before the
+	// power accountant) and — via a gating.Observed wrapper around the
+	// run's scheme — every per-cycle gating decision. The obs package's
+	// PipelineRecorder implements it; dcgsim -trace-out and the server's
+	// /v1/trace endpoint wire it up.
+	Telemetry RunTelemetry
+}
+
+// RunTelemetry observes a run: the usage stream plus each cycle's gating
+// decision. Implementations must follow the cpu.Observer contract (the
+// Usage buffer is reused; never retain it) and must not mutate the
+// GateState's slices.
+type RunTelemetry interface {
+	cpu.Observer
+	OnGates(cycle uint64, gs power.GateState)
 }
 
 // DefaultWarmup is the default functional warm-up length.
@@ -404,6 +424,7 @@ func (s *Simulator) run(ctx context.Context, warmSrc, src trace.Source, scheme g
 // and the writer both hear every GRANT event), returning the scheme's
 // Result and the reusable Timing from one pass.
 func (s *Simulator) runCapture(ctx context.Context, warmSrc, src trace.Source, scheme gating.Scheme, capture bool) (*Result, *Timing, error) {
+	start := time.Now()
 	machine := s.machine
 	c, err := cpu.New(machine, src)
 	if err != nil {
@@ -414,22 +435,37 @@ func (s *Simulator) runCapture(ctx context.Context, warmSrc, src trace.Source, s
 	if err != nil {
 		return nil, nil, err
 	}
+	if s.Telemetry != nil {
+		// Wrap the scheme so every Gates call is reported; resultFor
+		// unwraps before its concrete-scheme type switches.
+		scheme = gating.Observed{Scheme: scheme, OnGates: s.Telemetry.OnGates}
+	}
 	acct := power.NewAccountant(model, scheme)
 	acct.LeakageFrac = s.LeakageFrac
 	c.SetThrottle(scheme)
+	// Observer order: the trace writer first (it serialises each cycle
+	// exactly as the core published it, before anyone else consumes the
+	// reused buffer), telemetry next, the power accountant last.
+	var observers cpu.MultiObserver
 	var rec *usagetrace.Recorder
 	if capture {
 		rec, err = usagetrace.NewRecorder(src.Name(), machine.BackEndLatchStages())
 		if err != nil {
 			return nil, nil, err
 		}
-		// Trace writer first: it serialises each cycle exactly as the core
-		// published it, before the accountant consumes the same buffer.
+		observers = append(observers, rec)
 		c.SetIssueListener(cpu.MultiIssueListener{rec, scheme})
-		c.SetObserver(cpu.MultiObserver{rec, acct})
 	} else {
 		c.SetIssueListener(scheme)
+	}
+	if s.Telemetry != nil {
+		observers = append(observers, s.Telemetry)
+	}
+	observers = append(observers, acct)
+	if len(observers) == 1 {
 		c.SetObserver(acct)
+	} else {
+		c.SetObserver(observers)
 	}
 	if warmSrc != nil {
 		c.Warm(warmSrc, ^uint64(0))
@@ -455,6 +491,12 @@ func (s *Simulator) runCapture(ctx context.Context, warmSrc, src trace.Source, s
 		L2MissRate:     c.Hierarchy().L2.MissRate(),
 	}
 	res := resultFor(tm, scheme, model, acct)
+	if lg := obs.Logger(ctx); lg.Enabled(ctx, slog.LevelDebug) {
+		lg.Debug("core: run complete",
+			"bench", tm.Benchmark, "scheme", scheme.Name(), "capture", capture,
+			"cycles", st.Cycles, "committed", st.Committed,
+			"elapsed_ms", float64(time.Since(start).Microseconds())/1000)
+	}
 	if !capture {
 		return res, nil, nil
 	}
@@ -470,6 +512,9 @@ func (s *Simulator) runCapture(ctx context.Context, warmSrc, src trace.Source, s
 // scheme/accountant pair. Both the direct-run and replay paths funnel
 // through here, so the two produce structurally identical Results.
 func resultFor(t *Timing, scheme gating.Scheme, model *power.Model, acct *power.Accountant) *Result {
+	// Telemetry wraps schemes in gating.Observed; the concrete-scheme
+	// type switches below need the scheme underneath.
+	scheme = gating.UnwrapScheme(scheme)
 	st := &t.CPUStats
 	res := &Result{
 		Benchmark:      t.Benchmark,
@@ -567,13 +612,23 @@ func (s *Simulator) EvaluateTimingScheme(t *Timing, scheme gating.Scheme) (*Resu
 	if err != nil {
 		return nil, err
 	}
+	var obsChain cpu.Observer
+	if s.Telemetry != nil {
+		scheme = gating.Observed{Scheme: scheme, OnGates: s.Telemetry.OnGates}
+		obsChain = cpu.MultiObserver{s.Telemetry}
+	}
 	acct := power.NewAccountant(model, scheme)
 	acct.LeakageFrac = s.LeakageFrac
+	if mo, ok := obsChain.(cpu.MultiObserver); ok {
+		obsChain = append(mo, acct)
+	} else {
+		obsChain = acct
+	}
 	rd, err := t.Trace.Reader()
 	if err != nil {
 		return nil, err
 	}
-	cycles, err := usagetrace.Replay(rd, scheme, acct)
+	cycles, err := usagetrace.Replay(rd, scheme, obsChain)
 	if err != nil {
 		return nil, err
 	}

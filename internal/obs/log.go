@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sync/atomic"
+	"time"
+)
+
+// Context plumbing: the serving layer mints one request ID per HTTP
+// request and attaches it (plus a logger carrying it) to the request
+// context; internal/simrun and the internal/core run loop pull the
+// logger back out to annotate their capture/replay/cache decisions, so
+// one slow request can be traced end to end with `grep req=<id>`.
+
+type ctxKey int
+
+const (
+	loggerKey ctxKey = iota
+	requestIDKey
+)
+
+// WithLogger returns a context carrying the logger.
+func WithLogger(ctx context.Context, lg *slog.Logger) context.Context {
+	return context.WithValue(ctx, loggerKey, lg)
+}
+
+// Logger returns the context's logger, or a disabled logger when none is
+// attached (library code can log unconditionally without configuration).
+func Logger(ctx context.Context) *slog.Logger {
+	if ctx != nil {
+		if lg, ok := ctx.Value(loggerKey).(*slog.Logger); ok {
+			return lg
+		}
+	}
+	return nopLogger
+}
+
+// WithRequestID returns a context carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey, id)
+}
+
+// RequestID returns the context's request ID, or "" when none is set.
+func RequestID(ctx context.Context) string {
+	if ctx != nil {
+		if id, ok := ctx.Value(requestIDKey).(string); ok {
+			return id
+		}
+	}
+	return ""
+}
+
+// reqSeq numbers requests within the process; the process-start stamp
+// makes IDs distinguishable across restarts.
+var (
+	reqSeq   atomic.Uint64
+	reqEpoch = time.Now().UnixNano()
+)
+
+// NewRequestID mints a process-unique request identifier. It is not a
+// UUID: collision resistance across machines is not a goal, grep-ability
+// of one instance's logs is.
+func NewRequestID() string {
+	return fmt.Sprintf("%08x-%06d", uint32(reqEpoch>>10), reqSeq.Add(1))
+}
+
+// nopLogger drops everything; Logger returns it when the context carries
+// no logger, so library-side logging is free unless a caller opted in.
+var nopLogger = slog.New(nopHandler{})
+
+// NopLogger returns a logger that discards everything (and whose
+// handler reports itself disabled, so callers pay nothing for attrs).
+func NopLogger() *slog.Logger { return nopLogger }
+
+// nopHandler is a slog.Handler that is never enabled. (slog.DiscardHandler
+// arrived after this module's minimum Go version.)
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }

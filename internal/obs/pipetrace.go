@@ -1,0 +1,288 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+
+	"dcg/internal/config"
+	"dcg/internal/cpu"
+	"dcg/internal/power"
+)
+
+// PipelineRecorder samples a run's per-cycle pipeline activity into
+// fixed-size windows and exports them as Chrome trace-event JSON (one
+// counter track per pipeline latch stage, plus issue width, window
+// occupancy, functional-unit busy/enabled counts, D-cache ports and the
+// result bus — openable in Perfetto / chrome://tracing) and as a compact
+// per-window CSV.
+//
+// It implements cpu.Observer and rides the core's existing observer
+// fan-out (cpu.MultiObserver) next to the power accountant; gating
+// decisions reach it through core.Simulator's telemetry wiring, which
+// wraps the run's scheme so every power.GateState is reported via
+// OnGates. A recorder with no gating information (OnGates never called)
+// reports every structure as enabled.
+//
+// Simulated cycles are mapped onto trace timestamps one microsecond per
+// cycle, so a window of 256 cycles renders as 256µs of wall time in the
+// viewer.
+type PipelineRecorder struct {
+	// Window is the sample width in cycles.
+	window uint64
+
+	label  string
+	stages int
+	units  [4]int // configured units per FU pool
+	dports int
+	width  int // issue width (result-bus count)
+
+	cur     pipeWindow
+	samples []pipeWindow
+}
+
+// fuPoolNames name the four execution-unit pools in cpu.FUType order.
+var fuPoolNames = [4]string{"int-alu", "int-mult", "fp-alu", "fp-mult"}
+
+// pipeWindow accumulates one sample window.
+type pipeWindow struct {
+	start  uint64
+	cycles uint64
+
+	issueSum  uint64
+	commitSum uint64
+	occSum    uint64
+
+	latchFlow []uint64 // per back-end latch stage: slots flowing
+	latchOn   []uint64 // per stage: slots left enabled by the scheme
+
+	fuBusy [4]uint64 // busy-unit integral per pool
+	fuOn   [4]uint64 // enabled-unit integral per pool
+
+	dportUsed uint64
+	dportOn   uint64
+	busUsed   uint64
+	busOn     uint64
+
+	gateCycles uint64 // cycles with gating information
+}
+
+// DefaultTraceWindow is the default sampling window in cycles.
+const DefaultTraceWindow = 256
+
+// NewPipelineRecorder builds a recorder for a machine configuration.
+// window is the sample width in cycles (<= 0 selects DefaultTraceWindow);
+// label names the run in the trace's process metadata (e.g.
+// "gzip/dcg").
+func NewPipelineRecorder(cfg config.Config, window uint64, label string) *PipelineRecorder {
+	if window == 0 || window > 1<<32 {
+		window = DefaultTraceWindow
+	}
+	p := &PipelineRecorder{
+		window: window,
+		label:  label,
+		stages: cfg.BackEndLatchStages(),
+		units:  [4]int{cfg.FU.IntALU, cfg.FU.IntMult, cfg.FU.FPALU, cfg.FU.FPMult},
+		dports: cfg.DL1.Ports,
+		width:  cfg.IssueWidth,
+	}
+	p.resetCur(0)
+	return p
+}
+
+func (p *PipelineRecorder) resetCur(start uint64) {
+	p.cur = pipeWindow{
+		start:     start,
+		latchFlow: make([]uint64, p.stages),
+		latchOn:   make([]uint64, p.stages),
+	}
+}
+
+// OnCycle implements cpu.Observer.
+func (p *PipelineRecorder) OnCycle(u *cpu.Usage) {
+	if p.cur.cycles >= p.window {
+		p.flush()
+		p.resetCur(u.Cycle)
+	}
+	w := &p.cur
+	if w.cycles == 0 {
+		w.start = u.Cycle
+	}
+	w.cycles++
+	w.issueSum += uint64(u.IssueCount)
+	w.commitSum += uint64(u.CommitCount)
+	w.occSum += uint64(u.WindowOccupancy)
+	for s, n := range u.BackLatch {
+		if s < len(w.latchFlow) {
+			w.latchFlow[s] += uint64(n)
+		}
+	}
+	w.fuBusy[cpu.FUIntALU] += uint64(bits.OnesCount32(u.IntALUBusy))
+	w.fuBusy[cpu.FUIntMult] += uint64(bits.OnesCount32(u.IntMultBusy))
+	w.fuBusy[cpu.FUFPALU] += uint64(bits.OnesCount32(u.FPALUBusy))
+	w.fuBusy[cpu.FUFPMult] += uint64(bits.OnesCount32(u.FPMultBusy))
+	w.dportUsed += uint64(u.DPortUsed)
+	w.busUsed += uint64(u.ResultBus)
+}
+
+// OnGates receives the gating scheme's decision for one cycle (wired by
+// core.Simulator when telemetry is attached). Gate states arrive for the
+// same cycles OnCycle sees, in order; they land in the window currently
+// accumulating.
+func (p *PipelineRecorder) OnGates(cycle uint64, gs power.GateState) {
+	w := &p.cur
+	w.gateCycles++
+	w.fuOn[cpu.FUIntALU] += uint64(bits.OnesCount32(gs.IntALUMask))
+	w.fuOn[cpu.FUIntMult] += uint64(bits.OnesCount32(gs.IntMultMask))
+	w.fuOn[cpu.FUFPALU] += uint64(bits.OnesCount32(gs.FPALUMask))
+	w.fuOn[cpu.FUFPMult] += uint64(bits.OnesCount32(gs.FPMultMask))
+	for s, n := range gs.BackLatchSlots {
+		if s < len(w.latchOn) {
+			w.latchOn[s] += uint64(n)
+		}
+	}
+	w.dportOn += uint64(gs.DPortsOn)
+	w.busOn += uint64(gs.ResultBusOn)
+}
+
+// flush closes the accumulating window.
+func (p *PipelineRecorder) flush() {
+	if p.cur.cycles > 0 {
+		p.samples = append(p.samples, p.cur)
+		p.resetCur(p.cur.start + p.cur.cycles)
+	}
+}
+
+// Windows returns the number of completed sample windows (including a
+// final partial window once an export ran).
+func (p *PipelineRecorder) Windows() int { return len(p.samples) }
+
+// avg divides an integral by the window's cycle count.
+func (w *pipeWindow) avg(sum uint64) float64 { return float64(sum) / float64(w.cycles) }
+
+// enabledAvg reports a structure's mean enabled count: the gated
+// integral when gate information arrived, the configured total
+// otherwise (no gating scheme observed = everything on).
+func (w *pipeWindow) enabledAvg(onSum uint64, total int) float64 {
+	if w.gateCycles == 0 {
+		return float64(total)
+	}
+	return float64(onSum) / float64(w.gateCycles)
+}
+
+// traceEvent is one Chrome trace-event JSON object. The recorder emits
+// counter events (ph "C"): each distinct name is one counter track, ts
+// is the window-start cycle in microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// tracePid is the process ID all events carry (one traced process).
+const tracePid = 1
+
+// WriteChromeTrace renders the recorded windows as a Chrome trace-event
+// JSON object ({"traceEvents": [...]}), loadable in Perfetto or
+// chrome://tracing. Any partially filled window is flushed first.
+func (p *PipelineRecorder) WriteChromeTrace(w io.Writer) error {
+	p.flush()
+	events := make([]traceEvent, 0, len(p.samples)*(p.stages+7)+1)
+	events = append(events, traceEvent{
+		Name: "process_name", Ph: "M", Pid: tracePid,
+		Args: map[string]any{"name": p.label},
+	})
+	ev := func(name string, ts uint64, args map[string]any) {
+		events = append(events, traceEvent{
+			Name: name, Ph: "C", Ts: float64(ts), Pid: tracePid, Args: args,
+		})
+	}
+	for i := range p.samples {
+		s := &p.samples[i]
+		ts := s.start
+		ev("issue-width", ts, map[string]any{"issued": s.avg(s.issueSum)})
+		ev("commit-width", ts, map[string]any{"committed": s.avg(s.commitSum)})
+		ev("window-occupancy", ts, map[string]any{"entries": s.avg(s.occSum)})
+		for st := 0; st < p.stages; st++ {
+			ev(fmt.Sprintf("latch/stage%02d", st), ts, map[string]any{
+				"flow":    s.avg(s.latchFlow[st]),
+				"enabled": s.enabledAvg(s.latchOn[st], p.width),
+			})
+		}
+		for f := 0; f < 4; f++ {
+			ev("fu/"+fuPoolNames[f], ts, map[string]any{
+				"busy":    s.avg(s.fuBusy[f]),
+				"enabled": s.enabledAvg(s.fuOn[f], p.units[f]),
+			})
+		}
+		ev("dcache-ports", ts, map[string]any{
+			"used":    s.avg(s.dportUsed),
+			"enabled": s.enabledAvg(s.dportOn, p.dports),
+		})
+		ev("result-bus", ts, map[string]any{
+			"driven":  s.avg(s.busUsed),
+			"enabled": s.enabledAvg(s.busOn, p.width),
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// WriteCSV renders the recorded windows as one CSV row per window. Any
+// partially filled window is flushed first.
+func (p *PipelineRecorder) WriteCSV(w io.Writer) error {
+	p.flush()
+	if _, err := io.WriteString(w, "window_start,cycles,issue_avg,commit_avg,window_occ_avg"); err != nil {
+		return err
+	}
+	for f := 0; f < 4; f++ {
+		if _, err := fmt.Fprintf(w, ",%s_busy,%s_on", fuPoolNames[f], fuPoolNames[f]); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, ",dport_used,dport_on,bus_used,bus_on"); err != nil {
+		return err
+	}
+	for st := 0; st < p.stages; st++ {
+		if _, err := fmt.Fprintf(w, ",latch%02d_flow", st); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, "\n"); err != nil {
+		return err
+	}
+	for i := range p.samples {
+		s := &p.samples[i]
+		if _, err := fmt.Fprintf(w, "%d,%d,%.4f,%.4f,%.2f",
+			s.start, s.cycles, s.avg(s.issueSum), s.avg(s.commitSum), s.avg(s.occSum)); err != nil {
+			return err
+		}
+		for f := 0; f < 4; f++ {
+			if _, err := fmt.Fprintf(w, ",%.4f,%.4f",
+				s.avg(s.fuBusy[f]), s.enabledAvg(s.fuOn[f], p.units[f])); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, ",%.4f,%.4f,%.4f,%.4f",
+			s.avg(s.dportUsed), s.enabledAvg(s.dportOn, p.dports),
+			s.avg(s.busUsed), s.enabledAvg(s.busOn, p.width)); err != nil {
+			return err
+		}
+		for st := 0; st < p.stages; st++ {
+			if _, err := fmt.Fprintf(w, ",%.4f", s.avg(s.latchFlow[st])); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

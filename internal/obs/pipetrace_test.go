@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dcg/internal/config"
+	"dcg/internal/cpu"
+	"dcg/internal/power"
+)
+
+// feed drives n synthetic cycles into the recorder: every cycle issues 2
+// instructions, flows 2 slots through every back-end latch stage, keeps
+// one int ALU busy, and (when gated) leaves exactly the used resources
+// enabled.
+func feed(rec *PipelineRecorder, cfg config.Config, n uint64, gated bool) {
+	stages := cfg.BackEndLatchStages()
+	for c := uint64(0); c < n; c++ {
+		u := &cpu.Usage{
+			Cycle:           c,
+			IssueCount:      2,
+			CommitCount:     1,
+			WindowOccupancy: 16,
+			IntALUBusy:      0b1,
+			DPortUsed:       1,
+			ResultBus:       2,
+			BackLatch:       make([]int, stages),
+		}
+		for s := range u.BackLatch {
+			u.BackLatch[s] = 2
+		}
+		rec.OnCycle(u)
+		if gated {
+			gs := power.GateState{
+				IntALUMask:     0b1,
+				BackLatchSlots: make([]int, stages),
+				DPortsOn:       1,
+				ResultBusOn:    2,
+			}
+			for s := range gs.BackLatchSlots {
+				gs.BackLatchSlots[s] = 2
+			}
+			rec.OnGates(c, gs)
+		}
+	}
+}
+
+// TestChromeTraceGolden pins the trace-event schema: a process_name
+// metadata event, counter events with ph "C", microsecond timestamps
+// equal to the window-start cycle, a constant pid, and one counter track
+// per back-end pipeline latch stage.
+func TestChromeTraceGolden(t *testing.T) {
+	cfg := config.Default()
+	rec := NewPipelineRecorder(cfg, 64, "gzip/dcg")
+	feed(rec, cfg, 160, true) // 2.5 windows of 64
+
+	var b strings.Builder
+	if err := rec.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Pid  int            `json:"pid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if rec.Windows() != 3 {
+		t.Errorf("Windows() = %d, want 3 (two full + one partial)", rec.Windows())
+	}
+
+	// Event 0 is the process-name metadata record.
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	meta := doc.TraceEvents[0]
+	if meta.Ph != "M" || meta.Name != "process_name" {
+		t.Errorf("first event = %+v, want process_name metadata", meta)
+	}
+
+	tracks := map[string][]float64{} // name -> observed ts values
+	for _, ev := range doc.TraceEvents[1:] {
+		if ev.Ph != "C" {
+			t.Fatalf("event %q has ph %q, want C", ev.Name, ev.Ph)
+		}
+		if ev.Pid != 1 {
+			t.Fatalf("event %q has pid %d, want 1", ev.Name, ev.Pid)
+		}
+		tracks[ev.Name] = append(tracks[ev.Name], ev.Ts)
+	}
+
+	// One counter track per pipeline latch stage, plus the fixed tracks.
+	want := []string{"issue-width", "commit-width", "window-occupancy",
+		"dcache-ports", "result-bus",
+		"fu/int-alu", "fu/int-mult", "fu/fp-alu", "fu/fp-mult"}
+	for st := 0; st < cfg.BackEndLatchStages(); st++ {
+		want = append(want, fmt.Sprintf("latch/stage%02d", st))
+	}
+	for _, name := range want {
+		ts, ok := tracks[name]
+		if !ok {
+			t.Errorf("missing counter track %q", name)
+			continue
+		}
+		// Three windows starting at cycles 0, 64, 128 → ts 0, 64, 128 µs.
+		if len(ts) != 3 || ts[0] != 0 || ts[1] != 64 || ts[2] != 128 {
+			t.Errorf("track %q timestamps = %v, want [0 64 128]", name, ts)
+		}
+	}
+	if extra := len(tracks) - len(want); extra != 0 {
+		t.Errorf("%d unexpected counter tracks: %v", extra, tracks)
+	}
+}
+
+// TestTraceValuesReflectActivity checks the sampled averages, both gated
+// and ungated (no gate info = everything reported enabled).
+func TestTraceValuesReflectActivity(t *testing.T) {
+	cfg := config.Default()
+	for _, gated := range []bool{true, false} {
+		rec := NewPipelineRecorder(cfg, 64, "t")
+		feed(rec, cfg, 64, gated)
+		var b strings.Builder
+		if err := rec.WriteChromeTrace(&b); err != nil {
+			t.Fatal(err)
+		}
+		var doc struct {
+			TraceEvents []struct {
+				Name string         `json:"name"`
+				Args map[string]any `json:"args"`
+			} `json:"traceEvents"`
+		}
+		if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+			t.Fatal(err)
+		}
+		num := func(args map[string]any, k string) float64 {
+			v, _ := args[k].(float64)
+			return v
+		}
+		for _, ev := range doc.TraceEvents {
+			switch ev.Name {
+			case "issue-width":
+				if num(ev.Args, "issued") != 2 {
+					t.Errorf("gated=%v issue-width = %v, want 2", gated, ev.Args["issued"])
+				}
+			case "fu/int-alu":
+				if num(ev.Args, "busy") != 1 {
+					t.Errorf("gated=%v int-alu busy = %v, want 1", gated, ev.Args["busy"])
+				}
+				wantOn := float64(cfg.FU.IntALU) // ungated: all units on
+				if gated {
+					wantOn = 1
+				}
+				if num(ev.Args, "enabled") != wantOn {
+					t.Errorf("gated=%v int-alu enabled = %v, want %v", gated, ev.Args["enabled"], wantOn)
+				}
+			case "dcache-ports":
+				wantOn := float64(cfg.DL1.Ports)
+				if gated {
+					wantOn = 1
+				}
+				if num(ev.Args, "enabled") != wantOn {
+					t.Errorf("gated=%v dports enabled = %v, want %v", gated, ev.Args["enabled"], wantOn)
+				}
+			}
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	cfg := config.Default()
+	rec := NewPipelineRecorder(cfg, 32, "t")
+	feed(rec, cfg, 80, true)
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 1+3 { // header + ceil(80/32) windows
+		t.Fatalf("CSV has %d lines, want 4:\n%s", len(lines), b.String())
+	}
+	header := strings.Split(lines[0], ",")
+	for i, row := range lines[1:] {
+		if got := len(strings.Split(row, ",")); got != len(header) {
+			t.Errorf("row %d has %d fields, header has %d", i, got, len(header))
+		}
+	}
+	if !strings.HasPrefix(lines[1], "0,32,2.0000,1.0000") {
+		t.Errorf("first window row = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "64,16,") {
+		t.Errorf("partial window row = %q", lines[3])
+	}
+}
+
+func TestRecorderDoesNotRetainUsageBuffers(t *testing.T) {
+	cfg := config.Default()
+	rec := NewPipelineRecorder(cfg, 8, "t")
+	u := &cpu.Usage{IssueCount: 1, BackLatch: make([]int, cfg.BackEndLatchStages())}
+	u.BackLatch[0] = 3
+	rec.OnCycle(u)
+	// Mutate the buffer as the core does between cycles; the recorded
+	// window must keep the original values.
+	u.IssueCount = 99
+	u.BackLatch[0] = 99
+	u.Cycle = 1
+	rec.OnCycle(u)
+	var b strings.Builder
+	if err := rec.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "0,2,50.0000") {
+		t.Errorf("unexpected CSV (issue avg should be (1+99)/2 = 50):\n%s", b.String())
+	}
+}

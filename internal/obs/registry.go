@@ -1,0 +1,395 @@
+// Package obs is the observability layer: a dependency-free Prometheus
+// text-format metric registry (counters, gauges, histograms, with or
+// without labels), structured-logging helpers that thread request
+// identity through context, and a pipeline telemetry recorder that
+// samples the cycle core's per-stage activity into Chrome trace-event
+// JSON and per-window CSV.
+//
+// The registry deliberately implements only what the service needs from
+// the Prometheus exposition format (text format version 0.0.4): HELP and
+// TYPE comment lines, label escaping, and the _bucket/_sum/_count
+// convention for histograms. Instruments are lock-free on the hot path
+// (atomics); the only locks are taken when a labeled child is first
+// created and when the registry is scraped.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metricKind is the exposition TYPE of a metric family.
+type metricKind string
+
+const (
+	kindCounter   metricKind = "counter"
+	kindGauge     metricKind = "gauge"
+	kindHistogram metricKind = "histogram"
+)
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // registration order, for stable-but-grouped output
+}
+
+// family is one named metric with a fixed label-name set. Unlabeled
+// metrics are a family with one child under the empty label key.
+type family struct {
+	name       string
+	help       string
+	kind       metricKind
+	labelNames []string
+	buckets    []float64 // histogram upper bounds, sorted, no +Inf
+
+	mu       sync.Mutex
+	children map[string]sample // label-values key -> instrument
+	keys     []string          // sorted keys, rebuilt on insert
+	fn       func() float64    // callback families have no children
+}
+
+// sample is anything that can render its series lines.
+type sample interface {
+	write(w io.Writer, fam *family, labels string) error
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// register adds a family, panicking on a name collision — duplicate
+// registration is a programming error, exactly as in the Prometheus
+// client library.
+func (r *Registry) register(f *family) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.families[f.name]; dup {
+		panic(fmt.Sprintf("obs: metric %q registered twice", f.name))
+	}
+	r.families[f.name] = f
+	r.order = append(r.order, f.name)
+	return f
+}
+
+func newFamily(name, help string, kind metricKind, labels []string) *family {
+	return &family{
+		name:       name,
+		help:       help,
+		kind:       kind,
+		labelNames: labels,
+		children:   make(map[string]sample),
+	}
+}
+
+// child returns (creating if needed) the instrument for one label-value
+// tuple. make builds the instrument on first use.
+func (f *family) child(values []string, make func() sample) sample {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: metric %q wants %d label values, got %d",
+			f.name, len(f.labelNames), len(values)))
+	}
+	key := strings.Join(values, "\x00")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := make()
+	f.children[key] = c
+	f.keys = append(f.keys, key)
+	sort.Strings(f.keys)
+	return c
+}
+
+// Counter is a monotonically increasing uint64 instrument.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) write(w io.Writer, fam *family, labels string) error {
+	_, err := fmt.Fprintf(w, "%s%s %d\n", fam.name, labels, c.Value())
+	return err
+}
+
+// Gauge is an instrument that can go up and down (int64-valued; the
+// service's gauges are all discrete quantities).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add increments by n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+func (g *Gauge) write(w io.Writer, fam *family, labels string) error {
+	_, err := fmt.Fprintf(w, "%s%s %d\n", fam.name, labels, g.Value())
+	return err
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations.
+type Histogram struct {
+	le      []float64       // sorted upper bounds, excluding +Inf
+	counts  []atomic.Uint64 // len(le)+1; last is the +Inf overflow bucket
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(le []float64) *Histogram {
+	return &Histogram{le: le, counts: make([]atomic.Uint64, len(le)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// First bucket whose upper bound admits v (le semantics: v <= bound).
+	i := sort.SearchFloat64s(h.le, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) write(w io.Writer, fam *family, labels string) error {
+	// Bucket lines carry the caller's labels plus le; splice inside the
+	// closing brace when labels are present.
+	withLE := func(le string) string {
+		if labels == "" {
+			return `{le="` + le + `"}`
+		}
+		return labels[:len(labels)-1] + `,le="` + le + `"}`
+	}
+	var cum uint64
+	for i, bound := range h.le {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			fam.name, withLE(formatFloat(bound)), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.le)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", fam.name, withLE("+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", fam.name, labels, formatFloat(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.name, labels, h.count.Load())
+	return err
+}
+
+// DefBuckets is the default histogram layout for request/simulation
+// durations in seconds: 500µs to 30s.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Counter registers and returns an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.register(newFamily(name, help, kindCounter, nil))
+	return f.child(nil, func() sample { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers and returns an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.register(newFamily(name, help, kindGauge, nil))
+	return f.child(nil, func() sample { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers and returns an unlabeled histogram with the given
+// bucket upper bounds (nil = DefBuckets). Bounds must be sorted ascending.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(newFamily(name, help, kindHistogram, nil))
+	f.buckets = checkBuckets(name, buckets)
+	return f.child(nil, func() sample { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time. fn must be monotonically non-decreasing (e.g. a cache's
+// cumulative hit count).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.register(newFamily(name, help, kindCounter, nil))
+	f.fn = fn
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.register(newFamily(name, help, kindGauge, nil))
+	f.fn = fn
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	return &CounterVec{r.register(newFamily(name, help, kindCounter, labelNames))}
+}
+
+// With returns the counter for one label-value tuple, creating it on
+// first use.
+func (v *CounterVec) With(values ...string) *Counter {
+	return v.f.child(values, func() sample { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family partitioned by label values.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	return &GaugeVec{r.register(newFamily(name, help, kindGauge, labelNames))}
+}
+
+// With returns the gauge for one label-value tuple.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	return v.f.child(values, func() sample { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec registers a labeled histogram family (nil buckets =
+// DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	f := r.register(newFamily(name, help, kindHistogram, labelNames))
+	f.buckets = checkBuckets(name, buckets)
+	return &HistogramVec{f}
+}
+
+// With returns the histogram for one label-value tuple.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	return v.f.child(values, func() sample { return newHistogram(v.f.buckets) }).(*Histogram)
+}
+
+func checkBuckets(name string, buckets []float64) []float64 {
+	if buckets == nil {
+		return DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly ascending", name))
+		}
+	}
+	return buckets
+}
+
+// WritePrometheus renders every family in text exposition format, in
+// registration order (which groups related series the way the code
+// declares them).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		if f.fn != nil {
+			if _, err := fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fn())); err != nil {
+				return err
+			}
+			continue
+		}
+		f.mu.Lock()
+		keys := append([]string(nil), f.keys...)
+		children := make([]sample, len(keys))
+		for i, k := range keys {
+			children[i] = f.children[k]
+		}
+		f.mu.Unlock()
+		for i, c := range children {
+			if err := c.write(w, f, renderLabels(f.labelNames, keys[i])); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the registry (the /metrics
+// endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// renderLabels turns a child key back into `{name="value",...}`.
+func renderLabels(names []string, key string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	values := strings.Split(key, "\x00")
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

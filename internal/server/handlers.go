@@ -6,12 +6,15 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
 
 	"dcg/internal/core"
+	"dcg/internal/obs"
 	"dcg/internal/simrun"
 	"dcg/internal/workload"
 )
@@ -166,21 +169,78 @@ type BatchResponse struct {
 	Results []SimResponse `json:"results"`
 }
 
-// routes wires the endpoint table.
+// routes wires the endpoint table. The /v1 handlers are wrapped by the
+// instrumented middleware (request ID, structured log line, route counter
+// and latency histogram); the operational endpoints are left bare so
+// scrapes and health probes do not pollute the request metrics.
 func (s *Server) routes() {
-	s.mux.HandleFunc("/v1/sim", s.handleSim)
-	s.mux.HandleFunc("/v1/batch", s.handleBatch)
-	s.mux.HandleFunc("/v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("/v1/sim", s.instrumented("/v1/sim", s.handleSim))
+	s.mux.HandleFunc("/v1/batch", s.instrumented("/v1/batch", s.handleBatch))
+	s.mux.HandleFunc("/v1/benchmarks", s.instrumented("/v1/benchmarks", s.handleBenchmarks))
+	if s.cfg.EnableTrace {
+		s.mux.HandleFunc("/v1/trace", s.instrumented("/v1/trace", s.handleTrace))
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metricz", s.handleMetricz)
+	s.mux.HandleFunc("/stats", s.handleMetricz)
+	s.mux.Handle("/metrics", s.m.reg.Handler())
 	s.mux.Handle("/debug/vars", expvar.Handler())
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrumented wraps one route's handler with request identity and the
+// HTTP-layer metrics. Each request gets a process-unique ID (or keeps the
+// caller's X-Request-Id), echoed back in the response header and carried
+// through the context into simrun and the cycle core, so one request's
+// capture/replay/cache decisions can be traced end to end in the logs.
+func (s *Server) instrumented(route string, h http.HandlerFunc) http.HandlerFunc {
+	reqs := s.m.requests.With(route)
+	dur := s.m.reqDur.With(route)
+	return func(w http.ResponseWriter, r *http.Request) {
+		reqs.Inc()
+		id := r.Header.Get("X-Request-Id")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", id)
+		lg := s.log.With("req", id)
+		ctx := obs.WithLogger(obs.WithRequestID(r.Context(), id), lg)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		dur.Observe(elapsed.Seconds())
+		if lg.Enabled(ctx, slog.LevelInfo) {
+			lg.LogAttrs(ctx, slog.LevelInfo, "http: request",
+				slog.String("method", r.Method),
+				slog.String("route", route),
+				slog.Int("status", sw.status),
+				slog.Float64("elapsed_ms", float64(elapsed.Microseconds())/1000))
+		}
+	}
 }
 
 // handleSim serves one simulation. POST takes a SimRequest body; GET
 // takes the same fields as query parameters (benchmark, scheme, insts,
 // deep, int_alus, warmup, timeout_ms) for curl-ability.
 func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
-	s.metrics.requests.Add(1)
 	var req SimRequest
 	switch r.Method {
 	case http.MethodPost:
@@ -220,8 +280,6 @@ func (s *Server) handleSim(w http.ResponseWriter, r *http.Request) {
 // result. Item failures are reported per entry, not as a whole-batch
 // error, so one broken configuration does not discard completed work.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	s.metrics.requests.Add(1)
-	s.metrics.batches.Add(1)
 	if r.Method != http.MethodPost {
 		s.fail(w, http.StatusMethodNotAllowed, errors.New("use POST"))
 		return
@@ -312,6 +370,94 @@ func (s *Server) handleMetricz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, s.Snapshot())
 }
 
+// TraceRequest is the wire form of one /v1/trace request: a simulation
+// request plus the telemetry parameters.
+type TraceRequest struct {
+	SimRequest
+
+	// Format selects the export: "json" (Chrome trace-event JSON, the
+	// default) or "csv" (one row per sample window).
+	Format string `json:"format,omitempty"`
+
+	// Window is the sample width in cycles (default obs.DefaultTraceWindow).
+	Window uint64 `json:"window,omitempty"`
+}
+
+// handleTrace runs one fully instrumented simulation and streams its
+// pipeline telemetry. Telemetry requires a live pass, so this endpoint
+// bypasses both cache levels and always occupies a worker slot; it counts
+// toward sims_run but not sim_requests (it is not served from the
+// executor, so it must not skew the served-source accounting).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	var req TraceRequest
+	switch r.Method {
+	case http.MethodPost:
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+			return
+		}
+	case http.MethodGet:
+		if err := simRequestFromQuery(r, &req.SimRequest); err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		q := r.URL.Query()
+		req.Format = q.Get("format")
+		if v := q.Get("window"); v != "" {
+			n, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				s.fail(w, http.StatusBadRequest, fmt.Errorf("bad window %q", v))
+				return
+			}
+			req.Window = n
+		}
+	default:
+		s.fail(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+		return
+	}
+	switch req.Format {
+	case "", "json", "csv":
+	default:
+		s.fail(w, http.StatusBadRequest, fmt.Errorf("unknown format %q (want json or csv)", req.Format))
+		return
+	}
+
+	key, err := s.key(&req.SimRequest)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(&req.SimRequest))
+	defer cancel()
+
+	release, err := s.acquireWorker(ctx)
+	if err != nil {
+		s.fail(w, errStatus(err), err)
+		return
+	}
+	defer release()
+	s.m.activeSims.Add(1)
+	defer s.m.activeSims.Add(-1)
+	s.m.simsRun.Inc()
+
+	rec := obs.NewPipelineRecorder(key.Machine(), req.Window, key.Bench+"/"+key.Scheme.String())
+	start := time.Now()
+	res, err := simrun.RunTelemetry(ctx, key, rec)
+	s.m.simDur.With("trace").Observe(time.Since(start).Seconds())
+	if err != nil {
+		s.fail(w, errStatus(err), err)
+		return
+	}
+	w.Header().Set("X-Sim-Cycles", strconv.FormatUint(res.Cycles, 10))
+	if req.Format == "csv" {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+		_ = rec.WriteCSV(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = rec.WriteChromeTrace(w)
+}
+
 // responseFor assembles the success response body.
 func responseFor(k simrun.Key, res *core.Result, outcome simrun.Outcome, elapsed time.Duration) *SimResponse {
 	resp := &SimResponse{
@@ -400,7 +546,7 @@ func errStatus(err error) int {
 
 // fail writes a JSON error body.
 func (s *Server) fail(w http.ResponseWriter, status int, err error) {
-	s.metrics.errors.Add(1)
+	s.m.errors.Inc()
 	s.writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 

@@ -2,28 +2,135 @@ package server
 
 import (
 	"expvar"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"dcg/internal/obs"
+	"dcg/internal/simrun"
 )
 
-// metrics is the server's own counter set. Everything is atomic so the
-// handlers never serialise on a stats lock.
-type metrics struct {
-	requests    atomic.Int64 // HTTP requests to /v1/sim and /v1/batch
-	batches     atomic.Int64 // /v1/batch requests
-	errors      atomic.Int64 // error responses written
-	simsRun     atomic.Int64 // simulations actually executed
-	activeSims  atomic.Int64 // simulations executing right now
-	cacheHits   atomic.Int64 // requests answered from the memo
-	cacheMisses atomic.Int64 // requests that ran (or tried to run) a sim
-	coalesced   atomic.Int64 // requests that shared an in-flight run
-	timingRuns  atomic.Int64 // core timing simulations captured to a trace
-	replays     atomic.Int64 // requests answered by replaying a cached trace
+// instruments is the server's typed metric set, registered in an
+// obs.Registry and served on /metrics in Prometheus text format. The
+// legacy JSON snapshot (/stats, /metricz, expvar "dcgserve") is derived
+// from the same instruments, so the two views can never disagree.
+type instruments struct {
+	reg *obs.Registry
+
+	// HTTP layer.
+	requests *obs.CounterVec   // dcgserve_requests_total{route}
+	reqDur   *obs.HistogramVec // dcgserve_request_duration_seconds{route}
+	errors   *obs.Counter      // dcgserve_request_errors_total
+
+	// Simulation requests through the two-level executor. Exactly one
+	// served-source counter increments per sim request, so
+	// cache + coalesced + replayed + simulated == sim_requests.
+	simRequests *obs.Counter    // dcgserve_sim_requests_total
+	served      *obs.CounterVec // dcgserve_sim_served_total{source}
+
+	// Simulation execution.
+	simsRun    *obs.Counter      // dcgserve_sims_run_total (full runs + captures)
+	timingRuns *obs.Counter      // dcgserve_timing_captures_total
+	activeSims *obs.Gauge        // dcgserve_sims_inflight
+	simDur     *obs.HistogramVec // dcgserve_sim_duration_seconds{mode}
+
+	// Worker pool.
+	queueDepth *obs.Gauge     // dcgserve_worker_queue_depth
+	queueWait  *obs.Histogram // dcgserve_worker_wait_seconds
+}
+
+// servedSources are the sim_served_total label values, pre-created so a
+// fresh server scrapes zeros instead of missing series.
+var servedSources = []string{"simulated", "cache", "coalesced", "replayed"}
+
+// instrumentedRoutes are the request-counter label values pre-created at
+// startup (the middleware accepts any route, these just guarantee the
+// series exist from the first scrape).
+var instrumentedRoutes = []string{"/v1/sim", "/v1/batch", "/v1/trace", "/v1/benchmarks"}
+
+// newInstruments builds the metric set. The cache-level counters are
+// registered as scrape-time callbacks over the executor's own counters,
+// so the Prometheus view exposes the cache's cumulative hit/miss/
+// eviction series without a second set of books.
+func (s *Server) newInstruments() *instruments {
+	reg := obs.NewRegistry()
+	m := &instruments{
+		reg: reg,
+		requests: reg.CounterVec("dcgserve_requests_total",
+			"HTTP requests served, by route.", "route"),
+		reqDur: reg.HistogramVec("dcgserve_request_duration_seconds",
+			"HTTP request latency in seconds, by route.", nil, "route"),
+		errors: reg.Counter("dcgserve_request_errors_total",
+			"HTTP error responses written."),
+		simRequests: reg.Counter("dcgserve_sim_requests_total",
+			"Simulation requests submitted to the executor (one per /v1/sim call and per /v1/batch item)."),
+		served: reg.CounterVec("dcgserve_sim_served_total",
+			"Simulation requests served, by source: simulated (full run), cache (result memo), coalesced (shared an in-flight run), replayed (cached timing trace).", "source"),
+		simsRun: reg.Counter("dcgserve_sims_run_total",
+			"Cycle-accurate simulations executed (full runs and timing captures)."),
+		timingRuns: reg.Counter("dcgserve_timing_captures_total",
+			"Timing simulations that also captured a usage trace."),
+		activeSims: reg.Gauge("dcgserve_sims_inflight",
+			"Simulations executing right now."),
+		simDur: reg.HistogramVec("dcgserve_sim_duration_seconds",
+			"Simulation execution time in seconds, by mode: full, capture, replay.", nil, "mode"),
+		queueDepth: reg.Gauge("dcgserve_worker_queue_depth",
+			"Simulations waiting for a worker slot."),
+		queueWait: reg.Histogram("dcgserve_worker_wait_seconds",
+			"Time simulations spent queued for a worker slot.", nil),
+	}
+	for _, src := range servedSources {
+		m.served.With(src)
+	}
+	for _, r := range instrumentedRoutes {
+		m.requests.With(r)
+		m.reqDur.With(r)
+	}
+
+	reg.GaugeFunc("dcgserve_workers",
+		"Size of the simulation worker pool.",
+		func() float64 { return float64(s.cfg.Workers) })
+	reg.GaugeFunc("dcgserve_uptime_seconds",
+		"Seconds since the server started.",
+		func() float64 { return time.Since(s.startedAt).Seconds() })
+	reg.GaugeFunc("dcgserve_draining",
+		"1 while the server is draining (post-Drain), else 0.",
+		func() float64 {
+			if s.Draining() {
+				return 1
+			}
+			return 0
+		})
+
+	cacheFuncs := func(prefix, help string, stats func() simrun.Stats) {
+		reg.CounterFunc(prefix+"_hits_total", "Hits in the "+help+".",
+			func() float64 { return float64(stats().Hits) })
+		reg.CounterFunc(prefix+"_misses_total", "Misses in the "+help+".",
+			func() float64 { return float64(stats().Misses) })
+		reg.CounterFunc(prefix+"_coalesced_total", "Requests that joined an in-flight run in the "+help+".",
+			func() float64 { return float64(stats().Coalesced) })
+		reg.CounterFunc(prefix+"_evictions_total", "LRU evictions from the "+help+".",
+			func() float64 { return float64(stats().Evictions) })
+		reg.GaugeFunc(prefix+"_resident", "Entries resident in the "+help+".",
+			func() float64 { return float64(stats().Resident) })
+	}
+	cacheFuncs("dcgserve_result_cache", "memoised-result cache",
+		func() simrun.Stats { return s.exec.ResultStats() })
+	cacheFuncs("dcgserve_timing_cache", "timing-trace cache",
+		func() simrun.Stats { return s.exec.TimingStats() })
+
+	reg.GaugeFunc("go_goroutines", "Number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	return m
 }
 
 // Snapshot is a point-in-time copy of the service counters, served on
-// /metricz and published under the expvar key "dcgserve".
+// /stats and /metricz and published under the expvar key "dcgserve".
+// The counters are the same instruments /metrics exports; CacheMisses
+// is derived as simulated + replayed (every request that missed the
+// result memo), so hits + misses + coalesced == sim_requests always
+// holds — a replay is never double-counted.
 type Snapshot struct {
 	UptimeSec   float64 `json:"uptime_sec"`
 	Draining    bool    `json:"draining"`
@@ -33,6 +140,7 @@ type Snapshot struct {
 	Errors      int64   `json:"errors"`
 	SimsRun     int64   `json:"sims_run"`
 	ActiveSims  int64   `json:"active_sims"`
+	SimRequests int64   `json:"sim_requests"`
 	CacheHits   int64   `json:"cache_hits"`
 	CacheMisses int64   `json:"cache_misses"`
 	Coalesced   int64   `json:"coalesced"`
@@ -51,22 +159,26 @@ type Snapshot struct {
 func (s *Server) Snapshot() Snapshot {
 	cs := s.exec.ResultStats()
 	ts := s.exec.TimingStats()
+	m := s.m
+	simulated := int64(m.served.With("simulated").Value())
+	replayed := int64(m.served.With("replayed").Value())
 	return Snapshot{
 		UptimeSec:    time.Since(s.startedAt).Seconds(),
 		Draining:     s.Draining(),
 		Workers:      s.cfg.Workers,
-		Requests:     s.metrics.requests.Load(),
-		Batches:      s.metrics.batches.Load(),
-		Errors:       s.metrics.errors.Load(),
-		SimsRun:      s.metrics.simsRun.Load(),
-		ActiveSims:   s.metrics.activeSims.Load(),
-		CacheHits:    s.metrics.cacheHits.Load(),
-		CacheMisses:  s.metrics.cacheMisses.Load(),
-		Coalesced:    s.metrics.coalesced.Load(),
+		Requests:     int64(m.requests.With("/v1/sim").Value() + m.requests.With("/v1/batch").Value() + m.requests.With("/v1/trace").Value()),
+		Batches:      int64(m.requests.With("/v1/batch").Value()),
+		Errors:       int64(m.errors.Value()),
+		SimsRun:      int64(m.simsRun.Value()),
+		ActiveSims:   m.activeSims.Value(),
+		SimRequests:  int64(m.simRequests.Value()),
+		CacheHits:    int64(m.served.With("cache").Value()),
+		CacheMisses:  simulated + replayed,
+		Coalesced:    int64(m.served.With("coalesced").Value()),
 		CacheSize:    cs.Resident,
 		Evictions:    cs.Evictions,
-		TimingRuns:   s.metrics.timingRuns.Load(),
-		Replays:      s.metrics.replays.Load(),
+		TimingRuns:   int64(m.timingRuns.Value()),
+		Replays:      replayed,
 		TimingCached: ts.Resident,
 	}
 }

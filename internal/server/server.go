@@ -26,12 +26,14 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
 	"time"
 
 	"dcg/internal/core"
+	"dcg/internal/obs"
 	"dcg/internal/simrun"
 	"dcg/internal/workload"
 )
@@ -62,6 +64,21 @@ type Config struct {
 	// DefaultTimeout bounds each request's simulation work when the
 	// request does not set its own (shorter) timeout_ms. Default 60s.
 	DefaultTimeout time.Duration
+
+	// Logger receives the service's structured logs. Default: a disabled
+	// logger (the service is silent unless one is injected).
+	Logger *slog.Logger
+
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose internals and should only be
+	// reachable on operator-facing listeners.
+	EnablePprof bool
+
+	// EnableTrace mounts /v1/trace, which runs an uncached, fully
+	// instrumented simulation and streams its pipeline telemetry as
+	// Chrome trace-event JSON or per-window CSV. Off by default: a trace
+	// run always burns a worker slot for the full simulation.
+	EnableTrace bool
 }
 
 // withDefaults fills unset fields.
@@ -90,6 +107,9 @@ func (c Config) withDefaults() Config {
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 60 * time.Second
 	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
+	}
 	return c
 }
 
@@ -103,9 +123,10 @@ type Server struct {
 	exec *simrun.Exec
 	sem  chan struct{}
 	mux  *http.ServeMux
+	log  *slog.Logger
 
 	draining   atomic.Bool
-	metrics    metrics
+	m          *instruments
 	startedAt  time.Time
 	benchNames []string
 }
@@ -132,52 +153,80 @@ func newServer(cfg Config, exec *simrun.Exec) *Server {
 		exec:       exec,
 		sem:        make(chan struct{}, cfg.Workers),
 		mux:        http.NewServeMux(),
+		log:        cfg.Logger,
 		startedAt:  time.Now(),
 		benchNames: workload.Names(),
 	}
+	s.m = s.newInstruments()
 	s.instrument()
 	s.routes()
 	s.publishExpvar()
 	return s
 }
 
-// instrument wraps the executor's simulation hooks with the bounded
-// worker pool and the activity counters. Only the expensive
-// cycle-accurate passes (full runs and timing captures) occupy a worker
-// slot; trace replays are orders of magnitude cheaper and are already
-// bounded by the in-flight request count.
-func (s *Server) instrument() {
-	acquire := func(ctx context.Context) error {
-		select {
-		case s.sem <- struct{}{}:
-			return nil
-		case <-ctx.Done():
-			return fmt.Errorf("server: queued waiting for a worker: %w", ctx.Err())
-		}
+// acquireWorker blocks until a worker slot is free (or the context ends),
+// recording queue depth and wait time. The returned release must be
+// called when the simulation finishes.
+func (s *Server) acquireWorker(ctx context.Context) (release func(), err error) {
+	s.m.queueDepth.Add(1)
+	start := time.Now()
+	select {
+	case s.sem <- struct{}{}:
+		s.m.queueDepth.Add(-1)
+		s.m.queueWait.Observe(time.Since(start).Seconds())
+		return func() { <-s.sem }, nil
+	case <-ctx.Done():
+		s.m.queueDepth.Add(-1)
+		s.m.queueWait.Observe(time.Since(start).Seconds())
+		return nil, fmt.Errorf("server: queued waiting for a worker: %w", ctx.Err())
 	}
+}
+
+// instrument wraps the executor's simulation hooks with the bounded
+// worker pool, the activity counters, and per-mode duration histograms.
+// Only the expensive cycle-accurate passes (full runs and timing
+// captures) occupy a worker slot; trace replays are orders of magnitude
+// cheaper and are already bounded by the in-flight request count.
+func (s *Server) instrument() {
 	if full := s.exec.Full; full != nil {
 		s.exec.Full = func(ctx context.Context, k simrun.Key) (*core.Result, error) {
-			if err := acquire(ctx); err != nil {
+			release, err := s.acquireWorker(ctx)
+			if err != nil {
 				return nil, err
 			}
-			defer func() { <-s.sem }()
-			s.metrics.activeSims.Add(1)
-			defer s.metrics.activeSims.Add(-1)
-			s.metrics.simsRun.Add(1)
-			return full(ctx, k)
+			defer release()
+			s.m.activeSims.Add(1)
+			defer s.m.activeSims.Add(-1)
+			s.m.simsRun.Inc()
+			start := time.Now()
+			res, err := full(ctx, k)
+			s.m.simDur.With("full").Observe(time.Since(start).Seconds())
+			return res, err
 		}
 	}
 	if capture := s.exec.Capture; capture != nil {
 		s.exec.Capture = func(ctx context.Context, k simrun.Key) (*core.Result, *core.Timing, error) {
-			if err := acquire(ctx); err != nil {
+			release, err := s.acquireWorker(ctx)
+			if err != nil {
 				return nil, nil, err
 			}
-			defer func() { <-s.sem }()
-			s.metrics.activeSims.Add(1)
-			defer s.metrics.activeSims.Add(-1)
-			s.metrics.simsRun.Add(1)
-			s.metrics.timingRuns.Add(1)
-			return capture(ctx, k)
+			defer release()
+			s.m.activeSims.Add(1)
+			defer s.m.activeSims.Add(-1)
+			s.m.simsRun.Inc()
+			s.m.timingRuns.Inc()
+			start := time.Now()
+			res, tm, err := capture(ctx, k)
+			s.m.simDur.With("capture").Observe(time.Since(start).Seconds())
+			return res, tm, err
+		}
+	}
+	if eval := s.exec.Evaluate; eval != nil {
+		s.exec.Evaluate = func(k simrun.Key, t *core.Timing) (*core.Result, error) {
+			start := time.Now()
+			res, err := eval(k, t)
+			s.m.simDur.With("replay").Observe(time.Since(start).Seconds())
+			return res, err
 		}
 	}
 }
@@ -197,18 +246,22 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // result memo, the coalescing layer, the timing-trace cache, and (for the
 // passes that actually simulate) the bounded worker pool. Cache hits,
 // coalesced waiters, and trace replays never occupy a worker slot.
+//
+// Accounting: every call increments sim_requests and exactly one
+// served{source} counter — a replayed request counts once under
+// "replayed", not as both a miss and a replay, so
+// served{cache}+served{coalesced}+served{replayed}+served{simulated}
+// always equals sim_requests.
 func (s *Server) simulate(ctx context.Context, k simrun.Key) (*core.Result, simrun.Outcome, error) {
+	s.m.simRequests.Inc()
 	res, outcome, err := s.exec.Do(ctx, k)
-	switch outcome {
-	case simrun.OutcomeHit:
-		s.metrics.cacheHits.Add(1)
-	case simrun.OutcomeCoalesced:
-		s.metrics.coalesced.Add(1)
-	case simrun.OutcomeReplayed:
-		s.metrics.cacheMisses.Add(1)
-		s.metrics.replays.Add(1)
-	default:
-		s.metrics.cacheMisses.Add(1)
+	s.m.served.With(outcome.String()).Inc()
+	if err != nil {
+		s.log.LogAttrs(ctx, slog.LevelWarn, "sim failed",
+			slog.String("req", obs.RequestID(ctx)),
+			slog.String("bench", k.Bench),
+			slog.String("scheme", k.Scheme.String()),
+			slog.String("err", err.Error()))
 	}
 	return res, outcome, err
 }

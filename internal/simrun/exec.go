@@ -2,8 +2,11 @@ package simrun
 
 import (
 	"context"
+	"log/slog"
+	"time"
 
 	"dcg/internal/core"
+	"dcg/internal/obs"
 )
 
 // Exec is the two-level simulation executor:
@@ -65,6 +68,22 @@ func NewSingleLevelExec(resultCap int, run func(ctx context.Context, k Key) (*co
 // result cache, OutcomeReplayed when a cached timing trace was replayed,
 // OutcomeMiss when a full simulation (or capture) ran.
 func (e *Exec) Do(ctx context.Context, k Key) (*core.Result, Outcome, error) {
+	res, out, err := e.do(ctx, k)
+	if lg := obs.Logger(ctx); lg.Enabled(ctx, slog.LevelDebug) {
+		attrs := []any{
+			"bench", k.Bench, "scheme", k.Scheme.String(), "insts", k.Insts,
+			"outcome", out.String(),
+		}
+		if err != nil {
+			attrs = append(attrs, "err", err)
+		}
+		lg.Debug("simrun: do", attrs...)
+	}
+	return res, out, err
+}
+
+// do is Do without the logging wrapper.
+func (e *Exec) do(ctx context.Context, k Key) (*core.Result, Outcome, error) {
 	if e.timings == nil || !core.TimingNeutral(k.Scheme) {
 		return e.results.Do(ctx, k, func(ctx context.Context) (*core.Result, error) {
 			return e.Full(ctx, k)
@@ -77,10 +96,17 @@ func (e *Exec) Do(ctx context.Context, k Key) (*core.Result, Outcome, error) {
 		// the capture, the requested scheme rode along and no replay is
 		// needed. When the timing level hits (or coalesces with another
 		// scheme's capture), inline stays nil and we replay.
+		lg := obs.Logger(ctx)
 		var inline *core.Result
 		tm, _, err := e.timings.Do(ctx, k.TimingKey(), func(ctx context.Context) (*core.Timing, error) {
+			start := time.Now()
 			r, t, err := e.Capture(ctx, k)
 			inline = r
+			if err == nil && lg.Enabled(ctx, slog.LevelDebug) {
+				lg.Debug("simrun: timing captured", "bench", k.Bench,
+					"insts", k.Insts, "trace_bytes", t.Trace.SizeBytes(),
+					"elapsed_ms", float64(time.Since(start).Microseconds())/1000)
+			}
 			return t, err
 		})
 		if err != nil {
@@ -90,7 +116,14 @@ func (e *Exec) Do(ctx context.Context, k Key) (*core.Result, Outcome, error) {
 			return inline, nil
 		}
 		replayed = true
-		return e.Evaluate(k, tm)
+		start := time.Now()
+		res, err := e.Evaluate(k, tm)
+		if err == nil && lg.Enabled(ctx, slog.LevelDebug) {
+			lg.Debug("simrun: trace replayed", "bench", k.Bench,
+				"scheme", k.Scheme.String(),
+				"elapsed_ms", float64(time.Since(start).Microseconds())/1000)
+		}
+		return res, err
 	})
 	if err == nil && out == OutcomeMiss && replayed {
 		out = OutcomeReplayed

@@ -149,3 +149,13 @@ func Capture(ctx context.Context, k Key) (*core.Result, *core.Timing, error) {
 func Evaluate(k Key, t *core.Timing) (*core.Result, error) {
 	return simulatorFor(t.Machine, k.Warmup).EvaluateTiming(t, k.Scheme)
 }
+
+// RunTelemetry executes the full simulation the key identifies with a
+// telemetry observer attached (per-cycle usage vectors and gating
+// decisions — the server's /v1/trace endpoint). Telemetry requires a
+// live pass, so this path never consults the caches.
+func RunTelemetry(ctx context.Context, k Key, tel core.RunTelemetry) (*core.Result, error) {
+	sim := simulatorFor(k.Machine(), k.Warmup)
+	sim.Telemetry = tel
+	return sim.RunBenchmarkContext(ctx, k.Bench, k.Scheme, k.Insts)
+}

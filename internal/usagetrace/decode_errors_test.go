@@ -1,0 +1,191 @@
+package usagetrace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"dcg/internal/cpu"
+)
+
+// tinyCapture records a minimal well-formed trace (cycles cycles, two
+// latch stages, no issue events) and returns the encoded bytes.
+func tinyCapture(t *testing.T, cycles int) []byte {
+	t.Helper()
+	rec, err := NewRecorder("tiny", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < cycles; c++ {
+		u := cpu.Usage{Cycle: uint64(c), IssueCount: 1, BackLatch: []int{1, 2}}
+		rec.OnCycle(&u)
+	}
+	tr, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDecodeErrorPaths drives every corruption class the decoder promises
+// to fail loudly on, pinning the diagnostic each one produces.
+func TestDecodeErrorPaths(t *testing.T) {
+	good := tinyCapture(t, 3)
+
+	// Offsets inside the encoding of tinyCapture: header is
+	// "DCGU" + version + nameLen + "tiny" + uvarint(2) = 4+1+1+4+1 = 11
+	// bytes, followed by the first cycle record (tag byte at 11).
+	const headerLen = 11
+	if good[headerLen] != tagCycle {
+		t.Fatalf("layout drift: byte %d is 0x%02x, want cycle tag", headerLen, good[headerLen])
+	}
+
+	tests := []struct {
+		name    string
+		mutate  func([]byte) []byte
+		wantErr string
+	}{
+		{
+			name:    "empty stream",
+			mutate:  func([]byte) []byte { return nil },
+			wantErr: "short header",
+		},
+		{
+			name:    "header cut mid-magic",
+			mutate:  func(b []byte) []byte { return b[:3] },
+			wantErr: "short header",
+		},
+		{
+			name:    "bad magic",
+			mutate:  func(b []byte) []byte { return append([]byte("NOPE"), b[4:]...) },
+			wantErr: "bad magic",
+		},
+		{
+			name: "unsupported version",
+			mutate: func(b []byte) []byte {
+				b[len(traceMagic)] = traceVersion + 1
+				return b
+			},
+			wantErr: "unsupported version",
+		},
+		{
+			name:    "name cut short",
+			mutate:  func(b []byte) []byte { return b[:len(traceMagic)+2+2] },
+			wantErr: "short name",
+		},
+		{
+			name:    "latch-stage count missing",
+			mutate:  func(b []byte) []byte { return b[:headerLen-1] },
+			wantErr: "short header (latch stages)",
+		},
+		{
+			name:    "stream ends after header",
+			mutate:  func(b []byte) []byte { return b[:headerLen] },
+			wantErr: "truncated at cycle 0 (missing end marker)",
+		},
+		{
+			name:    "record cut mid-usage",
+			mutate:  func(b []byte) []byte { return b[:headerLen+3] },
+			wantErr: "truncated usage at cycle 0",
+		},
+		{
+			name: "corrupt record tag",
+			mutate: func(b []byte) []byte {
+				b[headerLen] = 0x7e
+				return b
+			},
+			wantErr: "corrupt record tag 0x7e at cycle 0",
+		},
+		{
+			name: "corrupt event count",
+			mutate: func(b []byte) []byte {
+				// Replace the first record's event-count varint (0) with a
+				// huge value; the record body that follows no longer parses
+				// as that many events, but the count check fires first.
+				huge := binary.AppendUvarint(nil, 1<<20)
+				out := append([]byte{}, b[:headerLen+1]...)
+				out = append(out, huge...)
+				return append(out, b[headerLen+2:]...)
+			},
+			wantErr: "corrupt event count",
+		},
+		{
+			name:    "end marker count missing",
+			mutate:  func(b []byte) []byte { return b[:len(b)-1] },
+			wantErr: "truncated end marker",
+		},
+		{
+			name: "end marker declares wrong cycle count",
+			mutate: func(b []byte) []byte {
+				b[len(b)-1] = 9 // tinyCapture wrote uvarint(3)
+				return b
+			},
+			wantErr: "end marker declares 9 cycles but 3 were read",
+		},
+		{
+			name:    "trailing bytes after end marker",
+			mutate:  func(b []byte) []byte { return append(b, 0xde, 0xad) },
+			wantErr: "trailing data after end marker",
+		},
+	}
+
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(append([]byte{}, good...))
+			_, err := ReadTrace(bytes.NewReader(data))
+			if err == nil {
+				t.Fatalf("corrupt stream decoded cleanly, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want it to contain %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	// The pristine stream still round-trips — the mutations above really
+	// were the cause of each failure.
+	tr, err := ReadTrace(bytes.NewReader(good))
+	if err != nil {
+		t.Fatalf("pristine stream failed to decode: %v", err)
+	}
+	if tr.Cycles() != 3 || tr.Name() != "tiny" || tr.BackLatchStages() != 2 {
+		t.Fatalf("pristine decode metadata %q/%d/%d, want tiny/3/2",
+			tr.Name(), tr.Cycles(), tr.BackLatchStages())
+	}
+}
+
+// TestDecodeTruncatedEventPayload cuts a stream that contains issue
+// events inside the event payload itself.
+func TestDecodeTruncatedEventPayload(t *testing.T) {
+	rec, err := NewRecorder("ev", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.OnIssue(cpu.IssueEvent{
+		Cycle: 0, FUIdx: 2, FUType: cpu.FUIntALU, FUStart: 2, FULat: 1,
+		WritesReg: true, ResultBusCycle: 3,
+	})
+	u := cpu.Usage{Cycle: 0, IssueCount: 1, BackLatch: []int{1}}
+	rec.OnCycle(&u)
+	tr, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Header (4+1+1+2+1 = 9 bytes) + tag + event count + flags puts byte
+	// 12 inside the event's timing fields.
+	_, err = ReadTrace(bytes.NewReader(full[:12]))
+	if err == nil || !strings.Contains(err.Error(), "truncated event at cycle 0") {
+		t.Fatalf("err = %v, want truncated-event error", err)
+	}
+}
