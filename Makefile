@@ -8,10 +8,12 @@
 #   make bench-json - the same benchmarks as machine-readable JSON
 #                  (BENCH_baseline.json holds a committed -benchtime=1x run)
 #   make serve   - run the simulation service locally
+#   make sweep-smoke - kill a sweep job mid-flight, resume it, and assert
+#                  byte-identical results with no re-executed work
 
 GO ?= go
 
-.PHONY: check lint vet fmt-check test race bench bench-json build serve
+.PHONY: check lint vet fmt-check test race bench bench-json build serve sweep-smoke
 
 check: lint race
 
@@ -41,3 +43,6 @@ bench-json:
 
 serve:
 	$(GO) run ./cmd/dcgserve
+
+sweep-smoke:
+	scripts/sweep_smoke.sh

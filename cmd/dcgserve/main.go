@@ -7,6 +7,7 @@
 //	dcgserve [-addr :8080] [-workers N] [-cache 1024] [-timing-cache 16]
 //	         [-default-insts 300000] [-max-insts 5000000] [-timeout 60s]
 //	         [-log-level info] [-log-format text] [-pprof] [-enable-trace]
+//	         [-store-dir DIR] [-store-max-bytes N] [-sweep-dir DIR] [-version]
 //
 // Try it:
 //
@@ -27,7 +28,9 @@ import (
 	"syscall"
 	"time"
 
+	"dcg/internal/obs"
 	"dcg/internal/server"
+	"dcg/internal/store"
 )
 
 // newLogger builds the process logger from the -log-level/-log-format
@@ -62,13 +65,33 @@ func main() {
 		logFormat    = flag.String("log-format", "text", "log encoding: text or json")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		traceOn      = flag.Bool("enable-trace", false, "mount /v1/trace (uncached, fully instrumented simulations)")
+		storeDir     = flag.String("store-dir", "", "persistent artifact store directory (restart-warm cache; empty = memory only)")
+		storeMax     = flag.Int64("store-max-bytes", 0, "evict least-recently-used store artifacts above this size (0 = unbounded)")
+		sweepDir     = flag.String("sweep-dir", "", "sweep job directory; mounts the /v1/sweeps API (empty = disabled)")
+		version      = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		v, rev := obs.BuildInfo()
+		fmt.Printf("dcgserve %s (%s)\n", v, rev)
+		return
+	}
 
 	logger, err := newLogger(*logLevel, *logFormat)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcgserve:", err)
 		os.Exit(2)
+	}
+
+	var artifacts *store.Store
+	if *storeDir != "" {
+		artifacts, err = store.Open(*storeDir, *storeMax, logger)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcgserve:", err)
+			os.Exit(2)
+		}
+		logger.Info("artifact store open", "dir", *storeDir, "max_bytes", *storeMax)
 	}
 
 	srv := server.New(server.Config{
@@ -81,6 +104,8 @@ func main() {
 		Logger:          logger,
 		EnablePprof:     *pprofOn,
 		EnableTrace:     *traceOn,
+		Store:           artifacts,
+		SweepDir:        *sweepDir,
 	})
 
 	httpSrv := &http.Server{
@@ -91,8 +116,10 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		logger.Info("dcgserve listening", "addr", *addr,
-			"pprof", *pprofOn, "trace", *traceOn)
+		v, rev := obs.BuildInfo()
+		logger.Info("dcgserve listening", "addr", *addr, "version", v,
+			"revision", rev, "pprof", *pprofOn, "trace", *traceOn,
+			"sweeps", *sweepDir != "")
 		errc <- httpSrv.ListenAndServe()
 	}()
 

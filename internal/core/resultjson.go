@@ -1,0 +1,42 @@
+package core
+
+import (
+	"encoding/json"
+
+	"dcg/internal/power"
+)
+
+// resultExtra carries the fields a plain struct marshal of Result would
+// lose: fullPerCycle is unexported (see the comment on Result) but the
+// per-structure saving methods need it, so a Result persisted to the
+// artifact store must round-trip it explicitly.
+type resultExtra struct {
+	FullPerCycle power.Breakdown `json:"full_per_cycle"`
+}
+
+// resultAlias strips Result's methods so the wire form below can embed it
+// without recursing into MarshalJSON/UnmarshalJSON.
+type resultAlias Result
+
+// MarshalJSON serialises the complete result, including the unexported
+// all-on per-cycle power vector, so a store round trip preserves
+// ComponentSaving/LatchSaving/DCacheSaving bit for bit.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		*resultAlias
+		resultExtra
+	}{(*resultAlias)(r), resultExtra{FullPerCycle: r.fullPerCycle}})
+}
+
+// UnmarshalJSON restores a result serialised by MarshalJSON.
+func (r *Result) UnmarshalJSON(data []byte) error {
+	aux := struct {
+		*resultAlias
+		resultExtra
+	}{resultAlias: (*resultAlias)(r)}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	r.fullPerCycle = aux.FullPerCycle
+	return nil
+}

@@ -14,13 +14,13 @@ import (
 	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"dcg/internal/config"
 	"dcg/internal/core"
 	"dcg/internal/power"
 	"dcg/internal/simrun"
 	"dcg/internal/stats"
+	"dcg/internal/sweep"
 	"dcg/internal/workload"
 )
 
@@ -91,35 +91,27 @@ func (r *Runner) result(bench string, scheme core.SchemeKind, deep bool, intALU 
 	return res, nil
 }
 
-// prefetch simulates any uncached keys concurrently (bounded by the CPU
-// count). Results land in the memo cache. The first failure is recorded
-// and returned, so a broken parallel pass surfaces immediately instead of
-// being silently re-executed sequentially.
+// prefetch simulates any uncached keys through the sweep scheduler:
+// the capture-once DAG (one timing pass per workload/config, scheme
+// replays fanned out behind it) on a worker pool bounded by the CPU
+// count. Results land in the memo cache; the first failure surfaces as
+// the returned error instead of being silently re-executed sequentially.
 func (r *Runner) prefetch(keys []simrun.Key) error {
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
+	pending := keys[:0:0]
 	for _, key := range keys {
 		if _, ok := r.exec.Get(key); ok {
 			continue
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(k simrun.Key) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if _, err := r.result(k.Bench, k.Scheme, k.Deep, k.IntALU); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-			}
-		}(key)
+		pending = append(pending, key)
 	}
-	wg.Wait()
-	return firstErr
+	if len(pending) == 0 {
+		return nil
+	}
+	eng := &sweep.Engine{Exec: r.exec, Workers: runtime.GOMAXPROCS(0)}
+	if err := eng.RunKeys(context.Background(), pending); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	return nil
 }
 
 // suiteMeans computes the integer-suite and FP-suite means of a metric.

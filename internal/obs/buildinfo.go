@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// buildInfo is resolved once; debug.ReadBuildInfo walks the module data
+// every call.
+var buildInfoOnce = sync.OnceValues(func() (string, string) {
+	version, revision := "unknown", "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return version, revision
+	}
+	if bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			revision = s.Value
+			if len(revision) > 12 {
+				revision = revision[:12]
+			}
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if dirty {
+		revision += "-dirty"
+	}
+	return version, revision
+})
+
+// BuildInfo reports the binary's module version and VCS revision (short
+// hash, "-dirty" suffixed when the tree was modified), both "unknown"
+// when the binary was built without module or VCS metadata. Served in
+// /healthz and as the dcg_build_info metric so a fleet's running
+// versions are observable.
+func BuildInfo() (version, revision string) {
+	return buildInfoOnce()
+}

@@ -116,7 +116,8 @@ type SimResponse struct {
 	// Source is how the request was served: "simulated" (this request
 	// ran the full simulation), "replayed" (evaluated by replaying a
 	// cached timing trace), "coalesced" (shared an identical in-flight
-	// run) or "cache" (memoised result).
+	// run), "cache" (memoised result) or "store" (loaded from the
+	// persistent artifact store).
 	Source string `json:"source"`
 
 	// ElapsedMs is the wall time this request spent being served.
@@ -179,6 +180,13 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/benchmarks", s.instrumented("/v1/benchmarks", s.handleBenchmarks))
 	if s.cfg.EnableTrace {
 		s.mux.HandleFunc("/v1/trace", s.instrumented("/v1/trace", s.handleTrace))
+	}
+	if s.sweeps != nil {
+		s.mux.HandleFunc("POST /v1/sweeps", s.instrumented("/v1/sweeps", s.handleSweepSubmit))
+		s.mux.HandleFunc("GET /v1/sweeps", s.instrumented("/v1/sweeps", s.handleSweepList))
+		s.mux.HandleFunc("GET /v1/sweeps/{id}", s.instrumented("/v1/sweeps/{id}", s.handleSweepStatus))
+		s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.instrumented("/v1/sweeps/{id}/results", s.handleSweepResults))
+		s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.instrumented("/v1/sweeps/{id}", s.handleSweepCancel))
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metricz", s.handleMetricz)
@@ -354,14 +362,23 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleHealthz reports liveness; a draining server answers 503 so load
-// balancers stop routing to it while in-flight work finishes.
+// balancers stop routing to it while in-flight work finishes. The body
+// is JSON carrying the binary's build identity, so a fleet's running
+// versions are checkable from the health probe alone.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		http.Error(w, "draining", http.StatusServiceUnavailable)
-		return
+	version, revision := obs.BuildInfo()
+	body := map[string]any{
+		"status":     "ok",
+		"version":    version,
+		"revision":   revision,
+		"uptime_sec": time.Since(s.startedAt).Seconds(),
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	status := http.StatusOK
+	if s.Draining() {
+		body["status"] = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, status, body)
 }
 
 // handleMetricz exposes the server's own counters as JSON (the same data

@@ -42,7 +42,7 @@ type instruments struct {
 
 // servedSources are the sim_served_total label values, pre-created so a
 // fresh server scrapes zeros instead of missing series.
-var servedSources = []string{"simulated", "cache", "coalesced", "replayed"}
+var servedSources = []string{"simulated", "cache", "coalesced", "replayed", "store"}
 
 // instrumentedRoutes are the request-counter label values pre-created at
 // startup (the middleware accepts any route, these just guarantee the
@@ -66,7 +66,7 @@ func (s *Server) newInstruments() *instruments {
 		simRequests: reg.Counter("dcgserve_sim_requests_total",
 			"Simulation requests submitted to the executor (one per /v1/sim call and per /v1/batch item)."),
 		served: reg.CounterVec("dcgserve_sim_served_total",
-			"Simulation requests served, by source: simulated (full run), cache (result memo), coalesced (shared an in-flight run), replayed (cached timing trace).", "source"),
+			"Simulation requests served, by source: simulated (full run), cache (result memo), coalesced (shared an in-flight run), replayed (cached timing trace), store (persistent artifact store).", "source"),
 		simsRun: reg.Counter("dcgserve_sims_run_total",
 			"Cycle-accurate simulations executed (full runs and timing captures)."),
 		timingRuns: reg.Counter("dcgserve_timing_captures_total",
@@ -122,15 +122,22 @@ func (s *Server) newInstruments() *instruments {
 
 	reg.GaugeFunc("go_goroutines", "Number of goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
+
+	version, revision := obs.BuildInfo()
+	buildInfo := reg.GaugeVec("dcg_build_info",
+		"Build identity of the running binary; the value is always 1.",
+		"version", "revision")
+	buildInfo.With(version, revision).Set(1)
 	return m
 }
 
 // Snapshot is a point-in-time copy of the service counters, served on
 // /stats and /metricz and published under the expvar key "dcgserve".
 // The counters are the same instruments /metrics exports; CacheMisses
-// is derived as simulated + replayed (every request that missed the
-// result memo), so hits + misses + coalesced == sim_requests always
-// holds — a replay is never double-counted.
+// is derived as simulated + replayed + store (every request that missed
+// the in-memory result memo), so hits + misses + coalesced ==
+// sim_requests always holds — a replay or store load is never
+// double-counted.
 type Snapshot struct {
 	UptimeSec   float64 `json:"uptime_sec"`
 	Draining    bool    `json:"draining"`
@@ -144,6 +151,7 @@ type Snapshot struct {
 	CacheHits   int64   `json:"cache_hits"`
 	CacheMisses int64   `json:"cache_misses"`
 	Coalesced   int64   `json:"coalesced"`
+	StoreHits   int64   `json:"store_hits"`
 	CacheSize   int     `json:"cache_size"`
 	Evictions   uint64  `json:"cache_evictions"`
 
@@ -162,6 +170,7 @@ func (s *Server) Snapshot() Snapshot {
 	m := s.m
 	simulated := int64(m.served.With("simulated").Value())
 	replayed := int64(m.served.With("replayed").Value())
+	storeHits := int64(m.served.With("store").Value())
 	return Snapshot{
 		UptimeSec:    time.Since(s.startedAt).Seconds(),
 		Draining:     s.Draining(),
@@ -173,8 +182,9 @@ func (s *Server) Snapshot() Snapshot {
 		ActiveSims:   m.activeSims.Value(),
 		SimRequests:  int64(m.simRequests.Value()),
 		CacheHits:    int64(m.served.With("cache").Value()),
-		CacheMisses:  simulated + replayed,
+		CacheMisses:  simulated + replayed + storeHits,
 		Coalesced:    int64(m.served.With("coalesced").Value()),
+		StoreHits:    storeHits,
 		CacheSize:    cs.Resident,
 		Evictions:    cs.Evictions,
 		TimingRuns:   int64(m.timingRuns.Value()),

@@ -35,6 +35,8 @@ import (
 	"dcg/internal/core"
 	"dcg/internal/obs"
 	"dcg/internal/simrun"
+	"dcg/internal/store"
+	"dcg/internal/sweep"
 	"dcg/internal/workload"
 )
 
@@ -79,6 +81,17 @@ type Config struct {
 	// Chrome trace-event JSON or per-window CSV. Off by default: a trace
 	// run always burns a worker slot for the full simulation.
 	EnableTrace bool
+
+	// Store, when set, is attached underneath the in-memory caches as the
+	// persistent artifact tier: results and timing traces computed by any
+	// process sharing the directory are served without re-simulation, so
+	// a restarted server is warm. Its counters are registered on /metrics.
+	Store *store.Store
+
+	// SweepDir, when set, mounts the asynchronous /v1/sweeps API; sweep
+	// jobs checkpoint to subdirectories of it, so jobs interrupted by a
+	// server restart are resumable by resubmitting the same spec.
+	SweepDir string
 }
 
 // withDefaults fills unset fields.
@@ -129,6 +142,8 @@ type Server struct {
 	m          *instruments
 	startedAt  time.Time
 	benchNames []string
+
+	sweeps *sweepJobs // nil unless cfg.SweepDir is set
 }
 
 // New builds a Server with the production two-level executor: full runs
@@ -159,6 +174,21 @@ func newServer(cfg Config, exec *simrun.Exec) *Server {
 	}
 	s.m = s.newInstruments()
 	s.instrument()
+	if cfg.Store != nil {
+		// Attached after instrument() on purpose: store lookups happen
+		// inside the cache closures before the Full/Capture seams, so a
+		// store hit never waits on (or occupies) a worker slot.
+		s.exec.Store = cfg.Store
+		cfg.Store.Register(s.m.reg)
+	}
+	if cfg.SweepDir != "" {
+		s.sweeps = newSweepJobs(&sweep.Engine{
+			Exec:    s.exec,
+			Workers: cfg.Workers,
+			Log:     cfg.Logger,
+			Metrics: sweep.NewMetrics(s.m.reg),
+		}, cfg.SweepDir, cfg.Logger)
+	}
 	s.routes()
 	s.publishExpvar()
 	return s
@@ -249,9 +279,10 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 //
 // Accounting: every call increments sim_requests and exactly one
 // served{source} counter — a replayed request counts once under
-// "replayed", not as both a miss and a replay, so
-// served{cache}+served{coalesced}+served{replayed}+served{simulated}
-// always equals sim_requests.
+// "replayed", not as both a miss and a replay, and likewise a
+// persistent-store load counts once under "store" — so
+// served{cache}+served{coalesced}+served{replayed}+served{store}+
+// served{simulated} always equals sim_requests.
 func (s *Server) simulate(ctx context.Context, k simrun.Key) (*core.Result, simrun.Outcome, error) {
 	s.m.simRequests.Inc()
 	res, outcome, err := s.exec.Do(ctx, k)

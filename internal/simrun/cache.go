@@ -22,6 +22,10 @@ const (
 	// timing trace instead of running the core timing simulation. Only
 	// the two-level Exec reports this.
 	OutcomeReplayed
+	// OutcomeStore: the result was loaded from the persistent artifact
+	// store (a prior process had computed it). No simulation and no
+	// replay ran. Only an Exec with a Store attached reports this.
+	OutcomeStore
 )
 
 // String names the outcome for logs and responses.
@@ -33,6 +37,8 @@ func (o Outcome) String() string {
 		return "coalesced"
 	case OutcomeReplayed:
 		return "replayed"
+	case OutcomeStore:
+		return "store"
 	default:
 		return "simulated"
 	}

@@ -37,6 +37,26 @@ type Exec struct {
 	Full     func(ctx context.Context, k Key) (*core.Result, error)
 	Capture  func(ctx context.Context, k Key) (*core.Result, *core.Timing, error)
 	Evaluate func(k Key, t *core.Timing) (*core.Result, error)
+
+	// Store is an optional persistent tier (internal/store) consulted
+	// underneath both in-memory levels: a result-cache miss first asks the
+	// store before simulating, a timing-cache miss first asks the store
+	// before capturing, and every freshly computed result/timing is
+	// written back. Attaching a store is what makes a restarted process
+	// warm. Nil disables the tier.
+	Store PersistentTier
+}
+
+// PersistentTier is a durable artifact layer underneath the in-memory
+// caches. Implementations must be safe for concurrent use; Get misses and
+// Put failures are expected to be absorbed internally (logged/counted),
+// never surfaced as request errors — the tier is an accelerator, not a
+// source of truth.
+type PersistentTier interface {
+	GetResult(k Key) (*core.Result, bool)
+	PutResult(k Key, r *core.Result)
+	GetTiming(k TimingKey) (*core.Timing, bool)
+	PutTiming(k TimingKey, t *core.Timing)
 }
 
 // NewExec builds the production two-level executor. resultCap bounds the
@@ -84,13 +104,30 @@ func (e *Exec) Do(ctx context.Context, k Key) (*core.Result, Outcome, error) {
 
 // do is Do without the logging wrapper.
 func (e *Exec) do(ctx context.Context, k Key) (*core.Result, Outcome, error) {
+	fromStore := false
 	if e.timings == nil || !core.TimingNeutral(k.Scheme) {
-		return e.results.Do(ctx, k, func(ctx context.Context) (*core.Result, error) {
-			return e.Full(ctx, k)
+		res, out, err := e.results.Do(ctx, k, func(ctx context.Context) (*core.Result, error) {
+			if r, ok := e.storeResult(ctx, k); ok {
+				fromStore = true
+				return r, nil
+			}
+			r, err := e.Full(ctx, k)
+			if err == nil && e.Store != nil {
+				e.Store.PutResult(k, r)
+			}
+			return r, err
 		})
+		if err == nil && out == OutcomeMiss && fromStore {
+			out = OutcomeStore
+		}
+		return res, out, err
 	}
 	replayed := false
 	res, out, err := e.results.Do(ctx, k, func(ctx context.Context) (*core.Result, error) {
+		if r, ok := e.storeResult(ctx, k); ok {
+			fromStore = true
+			return r, nil
+		}
 		// inline carries the capture run's own evaluation out of the
 		// timing-level closure: when this call is the one that executes
 		// the capture, the requested scheme rode along and no replay is
@@ -99,13 +136,21 @@ func (e *Exec) do(ctx context.Context, k Key) (*core.Result, Outcome, error) {
 		lg := obs.Logger(ctx)
 		var inline *core.Result
 		tm, _, err := e.timings.Do(ctx, k.TimingKey(), func(ctx context.Context) (*core.Timing, error) {
+			if t, ok := e.storeTiming(ctx, k.TimingKey()); ok {
+				return t, nil
+			}
 			start := time.Now()
 			r, t, err := e.Capture(ctx, k)
 			inline = r
-			if err == nil && lg.Enabled(ctx, slog.LevelDebug) {
-				lg.Debug("simrun: timing captured", "bench", k.Bench,
-					"insts", k.Insts, "trace_bytes", t.Trace.SizeBytes(),
-					"elapsed_ms", float64(time.Since(start).Microseconds())/1000)
+			if err == nil {
+				if e.Store != nil {
+					e.Store.PutTiming(k.TimingKey(), t)
+				}
+				if lg.Enabled(ctx, slog.LevelDebug) {
+					lg.Debug("simrun: timing captured", "bench", k.Bench,
+						"insts", k.Insts, "trace_bytes", t.Trace.SizeBytes(),
+						"elapsed_ms", float64(time.Since(start).Microseconds())/1000)
+				}
 			}
 			return t, err
 		})
@@ -113,22 +158,63 @@ func (e *Exec) do(ctx context.Context, k Key) (*core.Result, Outcome, error) {
 			return nil, err
 		}
 		if inline != nil {
+			if e.Store != nil {
+				e.Store.PutResult(k, inline)
+			}
 			return inline, nil
 		}
 		replayed = true
 		start := time.Now()
 		res, err := e.Evaluate(k, tm)
-		if err == nil && lg.Enabled(ctx, slog.LevelDebug) {
-			lg.Debug("simrun: trace replayed", "bench", k.Bench,
-				"scheme", k.Scheme.String(),
-				"elapsed_ms", float64(time.Since(start).Microseconds())/1000)
+		if err == nil {
+			if e.Store != nil {
+				e.Store.PutResult(k, res)
+			}
+			if lg.Enabled(ctx, slog.LevelDebug) {
+				lg.Debug("simrun: trace replayed", "bench", k.Bench,
+					"scheme", k.Scheme.String(),
+					"elapsed_ms", float64(time.Since(start).Microseconds())/1000)
+			}
 		}
 		return res, err
 	})
-	if err == nil && out == OutcomeMiss && replayed {
-		out = OutcomeReplayed
+	if err == nil && out == OutcomeMiss {
+		switch {
+		case fromStore:
+			out = OutcomeStore
+		case replayed:
+			out = OutcomeReplayed
+		}
 	}
 	return res, out, err
+}
+
+// storeResult consults the persistent tier for a finished result.
+func (e *Exec) storeResult(ctx context.Context, k Key) (*core.Result, bool) {
+	if e.Store == nil {
+		return nil, false
+	}
+	r, ok := e.Store.GetResult(k)
+	if ok {
+		if lg := obs.Logger(ctx); lg.Enabled(ctx, slog.LevelDebug) {
+			lg.Debug("simrun: result from store", "bench", k.Bench, "scheme", k.Scheme.String())
+		}
+	}
+	return r, ok
+}
+
+// storeTiming consults the persistent tier for a captured timing trace.
+func (e *Exec) storeTiming(ctx context.Context, k TimingKey) (*core.Timing, bool) {
+	if e.Store == nil {
+		return nil, false
+	}
+	t, ok := e.Store.GetTiming(k)
+	if ok {
+		if lg := obs.Logger(ctx); lg.Enabled(ctx, slog.LevelDebug) {
+			lg.Debug("simrun: timing from store", "bench", k.Bench, "insts", k.Insts)
+		}
+	}
+	return t, ok
 }
 
 // Get returns the memoised result for k without executing anything.

@@ -40,6 +40,7 @@ package usagetrace
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -59,6 +60,12 @@ const (
 	flagIsStore   = 1 << 2
 	flagWritesReg = 1 << 3
 	fuTypeShift   = 4
+
+	// RFC 1952 gzip member header magic, sniffed by the decoders so a
+	// compressed trace (EncodeGzip, or a .gz file handed to -replay
+	// tooling) decodes transparently.
+	gzipMagic0 = 0x1f
+	gzipMagic1 = 0x8b
 )
 
 // Writer serialises a capture stream. It implements cpu.Observer and
@@ -249,9 +256,18 @@ type Reader struct {
 	done    bool
 }
 
-// NewReader parses the header and positions the reader at cycle 0.
+// NewReader parses the header and positions the reader at cycle 0. The
+// stream may be gzip-compressed (as written by EncodeGzip): the two gzip
+// magic bytes are sniffed and decompression is inserted transparently.
 func NewReader(r io.Reader) (*Reader, error) {
 	br := bufio.NewReader(r)
+	if magic, err := br.Peek(2); err == nil && magic[0] == gzipMagic0 && magic[1] == gzipMagic1 {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("usagetrace: bad gzip framing: %w", err)
+		}
+		br = bufio.NewReader(gz)
+	}
 	head := make([]byte, len(traceMagic)+2)
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("usagetrace: short header: %w", err)
