@@ -344,3 +344,48 @@ func BenchmarkReplayEvaluate(b *testing.B) {
 		b.ReportMetric(100*res.Saving, "save%")
 	}
 }
+
+// replayKinds is the full timing-neutral scheme set — every scheme the
+// replay path accepts — used by the fused-vs-sequential benchmark pair.
+var replayKinds = []core.SchemeKind{core.SchemeNone, core.SchemeDCG, core.SchemeOracle}
+
+// BenchmarkReplaySingle measures the pre-fusion way of evaluating k
+// schemes over one capture: k independent sequential replays, each
+// streaming its own decode of the encoded trace. One op = all k schemes,
+// so ns/op compares directly against BenchmarkReplayFusedN.
+func BenchmarkReplaySingle(b *testing.B) {
+	sim := core.NewSimulator(core.DefaultMachine())
+	tm, err := sim.CaptureBenchmark("swim", benchInsts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, kind := range replayKinds {
+			if _, err := sim.EvaluateTiming(tm, kind); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkReplayFusedN measures the fused engine on the same work as
+// BenchmarkReplaySingle: all k schemes evaluated in one pass over the
+// memoized columnar decode (one decode per capture, ever — see
+// docs/PERFORMANCE.md). Results are bit-identical to the sequential path
+// (TestFusedReplayMatchesSequentialBitForBit).
+func BenchmarkReplayFusedN(b *testing.B) {
+	sim := core.NewSimulator(core.DefaultMachine())
+	tm, err := sim.CaptureBenchmark("swim", benchInsts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := sim.EvaluateTimingAll(tm, replayKinds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*results[1].Saving, "dcg-save%")
+	}
+}

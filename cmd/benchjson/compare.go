@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 )
 
@@ -58,16 +59,23 @@ func benchKey(b Benchmark) string {
 
 // compareReports diffs two reports on one metric. A benchmark regresses
 // when its metric grew by more than threshold (relative): with the
-// default ns/op, larger is slower.
-func compareReports(old, new *Report, metric string, threshold float64) *CompareResult {
+// default ns/op, larger is slower. A non-nil only restricts the
+// comparison to benchmarks whose pkg/Name key matches it — both sides
+// are filtered, so out-of-scope renames and removals stay silent too.
+func compareReports(old, new *Report, metric string, threshold float64, only *regexp.Regexp) *CompareResult {
 	res := &CompareResult{}
 	oldBy := make(map[string]Benchmark, len(old.Benchmarks))
 	for _, b := range old.Benchmarks {
-		oldBy[benchKey(b)] = b
+		if key := benchKey(b); only == nil || only.MatchString(key) {
+			oldBy[key] = b
+		}
 	}
 	seen := make(map[string]bool, len(new.Benchmarks))
 	for _, nb := range new.Benchmarks {
 		key := benchKey(nb)
+		if only != nil && !only.MatchString(key) {
+			continue
+		}
 		seen[key] = true
 		ob, ok := oldBy[key]
 		if !ok {
@@ -113,8 +121,10 @@ func loadReport(path string) (*Report, error) {
 
 // runCompare implements `benchjson -compare old.json new.json`: it prints
 // a delta table and returns the process exit code (1 when any benchmark
-// regressed beyond the threshold, 0 otherwise).
-func runCompare(w io.Writer, oldPath, newPath, metric string, threshold float64) int {
+// regressed beyond the threshold, 0 otherwise). A non-nil only restricts
+// the gate to matching benchmarks, and matching nothing is an error —
+// a gate whose regexp rotted would otherwise pass forever.
+func runCompare(w io.Writer, oldPath, newPath, metric string, threshold float64, only *regexp.Regexp) int {
 	old, err := loadReport(oldPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -125,7 +135,12 @@ func runCompare(w io.Writer, oldPath, newPath, metric string, threshold float64)
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		return 2
 	}
-	res := compareReports(old, new, metric, threshold)
+	res := compareReports(old, new, metric, threshold, only)
+	if only != nil && len(res.Deltas) == 0 && len(res.NoMetric) == 0 &&
+		len(res.MissingInNew) == 0 && len(res.OnlyInNew) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: -only %q matched no benchmarks\n", only)
+		return 2
+	}
 
 	fmt.Fprintf(w, "comparing %s (threshold %+.0f%%)\n", metric, 100*threshold)
 	for _, d := range res.Deltas {

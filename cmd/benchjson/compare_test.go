@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -30,7 +31,7 @@ func TestCompareReports(t *testing.T) {
 			Metrics: map[string]float64{"B/op": 42}}, // ns/op missing
 	}}
 
-	res := compareReports(old, new, "ns/op", 0.10)
+	res := compareReports(old, new, "ns/op", 0.10, nil)
 	if got := res.Regressions(); got != 1 {
 		t.Fatalf("regressions = %d, want 1: %+v", got, res.Deltas)
 	}
@@ -65,7 +66,7 @@ func TestCompareMatchesAcrossPackages(t *testing.T) {
 		mkBench("pkg/a", "Run-8", 100),
 		mkBench("pkg/b", "Run-8", 1000),
 	}}
-	res := compareReports(old, new, "ns/op", 0.10)
+	res := compareReports(old, new, "ns/op", 0.10, nil)
 	if len(res.Deltas) != 2 || res.Regressions() != 0 {
 		t.Fatalf("identical reports: %+v", res)
 	}
@@ -79,9 +80,53 @@ func TestCompareMatchesAcrossPackages(t *testing.T) {
 func TestCompareImprovementIsNotRegression(t *testing.T) {
 	old := &Report{Benchmarks: []Benchmark{mkBench("p", "Fast-8", 1000)}}
 	new := &Report{Benchmarks: []Benchmark{mkBench("p", "Fast-8", 400)}}
-	res := compareReports(old, new, "ns/op", 0.10)
+	res := compareReports(old, new, "ns/op", 0.10, nil)
 	if res.Regressions() != 0 {
 		t.Errorf("a 60%% speedup counted as regression: %+v", res.Deltas)
+	}
+}
+
+func TestCompareOnlyFilter(t *testing.T) {
+	old := &Report{Benchmarks: []Benchmark{
+		mkBench("dcg", "ReplaySingle-8", 100),
+		mkBench("dcg", "ReplayFusedN-8", 100),
+		mkBench("dcg", "Table1Baseline-8", 100),
+		mkBench("dcg", "ReplayRemoved-8", 100),
+		mkBench("dcg", "OtherRemoved-8", 100),
+	}}
+	new := &Report{Benchmarks: []Benchmark{
+		mkBench("dcg", "ReplaySingle-8", 130),   // +30%: regression at 15%
+		mkBench("dcg", "ReplayFusedN-8", 105),   // within threshold
+		mkBench("dcg", "Table1Baseline-8", 900), // out of scope: must be invisible
+		mkBench("dcg", "OtherAdded-8", 50),
+	}}
+	only := regexp.MustCompile(`dcg/Replay`)
+
+	res := compareReports(old, new, "ns/op", 0.15, only)
+	if len(res.Deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2 (Replay* only): %+v", len(res.Deltas), res.Deltas)
+	}
+	if got := res.Regressions(); got != 1 {
+		t.Errorf("regressions = %d, want 1 (the 9x Table1Baseline jump is out of scope)", got)
+	}
+	// Filtering applies to both sides: the non-Replay removal and addition
+	// must not leak into the report.
+	if len(res.MissingInNew) != 1 || res.MissingInNew[0] != "dcg/ReplayRemoved-8" {
+		t.Errorf("missing = %v, want only dcg/ReplayRemoved-8", res.MissingInNew)
+	}
+	if len(res.OnlyInNew) != 0 {
+		t.Errorf("new-only = %v, want none", res.OnlyInNew)
+	}
+}
+
+func TestRunCompareOnlyMatchingNothingFails(t *testing.T) {
+	dir := t.TempDir()
+	rep := &Report{Benchmarks: []Benchmark{mkBench("p", "X-8", 100)}}
+	oldPath := writeReport(t, dir, "old.json", rep)
+	newPath := writeReport(t, dir, "new.json", rep)
+	var out strings.Builder
+	if code := runCompare(&out, oldPath, newPath, "ns/op", 0.10, regexp.MustCompile(`NoSuchBench`)); code != 2 {
+		t.Errorf("empty -only match exited %d, want 2 (a rotted gate must not pass silently)", code)
 	}
 }
 
@@ -111,7 +156,7 @@ func TestRunCompareExitCodes(t *testing.T) {
 	}})
 
 	var out strings.Builder
-	if code := runCompare(&out, oldPath, okPath, "ns/op", 0.10); code != 0 {
+	if code := runCompare(&out, oldPath, okPath, "ns/op", 0.10, nil); code != 0 {
 		t.Errorf("within-threshold compare exited %d:\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "ok:") {
@@ -119,7 +164,7 @@ func TestRunCompareExitCodes(t *testing.T) {
 	}
 
 	out.Reset()
-	if code := runCompare(&out, oldPath, badPath, "ns/op", 0.10); code != 1 {
+	if code := runCompare(&out, oldPath, badPath, "ns/op", 0.10, nil); code != 1 {
 		t.Errorf("2x regression exited %d, want 1:\n%s", code, out.String())
 	}
 	if !strings.Contains(out.String(), "FAIL:") {
@@ -128,12 +173,12 @@ func TestRunCompareExitCodes(t *testing.T) {
 
 	// A generous threshold tolerates the same delta.
 	out.Reset()
-	if code := runCompare(&out, oldPath, badPath, "ns/op", 2.0); code != 0 {
+	if code := runCompare(&out, oldPath, badPath, "ns/op", 2.0, nil); code != 0 {
 		t.Errorf("2x regression under 200%% threshold exited %d, want 0", code)
 	}
 
 	// Unreadable input is an operational error, not a regression.
-	if code := runCompare(&out, filepath.Join(dir, "nope.json"), okPath, "ns/op", 0.10); code != 2 {
+	if code := runCompare(&out, filepath.Join(dir, "nope.json"), okPath, "ns/op", 0.10, nil); code != 2 {
 		t.Errorf("missing file exited %d, want 2", code)
 	}
 }

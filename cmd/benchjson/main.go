@@ -5,7 +5,7 @@
 //
 //	go test -bench=. -benchmem -run='^$' ./... | benchjson > BENCH.json
 //	make bench-json
-//	benchjson -compare [-threshold 0.10] [-metric ns/op] old.json new.json
+//	benchjson -compare [-threshold 0.10] [-metric ns/op] [-only REGEXP] old.json new.json
 //
 // Each benchmark line ("BenchmarkName  N  v1 unit1  v2 unit2 ...")
 // becomes one entry with its iteration count and a unit → value metric
@@ -14,7 +14,10 @@
 // With -compare, two previously converted reports are diffed instead:
 // benchmarks are matched by package + name, and the process exits
 // non-zero when any matched benchmark's metric grew by more than the
-// threshold (CI regression gating).
+// threshold (CI regression gating). -only narrows the gate to benchmarks
+// whose pkg/Name key matches a regexp, so a tightly-thresholded pass can
+// watch a specific family (e.g. -only 'dcg/Replay' -threshold 0.15)
+// alongside the loose whole-suite gate.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -58,6 +62,7 @@ func main() {
 		compare   = flag.Bool("compare", false, "diff two converted reports: benchjson -compare old.json new.json")
 		threshold = flag.Float64("threshold", 0.10, "relative regression threshold for -compare (0.10 = 10%)")
 		metric    = flag.String("metric", "ns/op", "metric to compare with -compare")
+		only      = flag.String("only", "", "with -compare, restrict to benchmarks whose pkg/Name key matches this regexp")
 	)
 	flag.Parse()
 
@@ -66,7 +71,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two report files (old new)")
 			os.Exit(2)
 		}
-		os.Exit(runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *metric, *threshold))
+		var onlyRe *regexp.Regexp
+		if *only != "" {
+			re, err := regexp.Compile(*only)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: -only:", err)
+				os.Exit(2)
+			}
+			onlyRe = re
+		}
+		os.Exit(runCompare(os.Stdout, flag.Arg(0), flag.Arg(1), *metric, *threshold, onlyRe))
 	}
 
 	rep, err := parse(bufio.NewScanner(os.Stdin))

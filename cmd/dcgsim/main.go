@@ -41,22 +41,39 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write pipeline telemetry as Chrome trace-event JSON (Perfetto-viewable); single -bench and -scheme")
 		traceCSV    = flag.String("trace-csv", "", "write pipeline telemetry as per-window CSV; single -bench and -scheme")
 		traceWindow = flag.Uint64("trace-window", obs.DefaultTraceWindow, "telemetry sample window in cycles")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap (allocation) profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := obs.StartProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcgsim:", err)
+		os.Exit(2)
+	}
+	// exit flushes the profiles before terminating; every path below must
+	// leave through it (os.Exit skips deferred calls).
+	exit := func(code int) {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "dcgsim:", err)
+		}
+		os.Exit(code)
+	}
 
 	var kinds []core.SchemeKind
 	for _, name := range strings.Split(*scheme, ",") {
 		kind, err := core.ParseScheme(strings.TrimSpace(name))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			exit(2)
 		}
 		kinds = append(kinds, kind)
 	}
 	kind := kinds[0]
 	if len(kinds) > 1 && (*record != "" || *replay != "" || *profile != "") {
 		fmt.Fprintln(os.Stderr, "dcgsim: -record/-replay/-profile take a single -scheme")
-		os.Exit(2)
+		exit(2)
 	}
 
 	machine := core.DefaultMachine()
@@ -69,41 +86,41 @@ func main() {
 		switch {
 		case len(kinds) > 1:
 			fmt.Fprintln(os.Stderr, "dcgsim: -trace-out/-trace-csv take a single -scheme")
-			os.Exit(2)
+			exit(2)
 		case *bench == "all" || *bench == "int" || *bench == "fp":
 			fmt.Fprintln(os.Stderr, "dcgsim: -trace-out/-trace-csv take a single -bench name")
-			os.Exit(2)
+			exit(2)
 		case *record != "" || *replay != "" || *profile != "":
 			fmt.Fprintln(os.Stderr, "dcgsim: -trace-out/-trace-csv cannot combine with -record/-replay/-profile")
-			os.Exit(2)
+			exit(2)
 		}
 		if err := runPipeTrace(sim, machine, *bench, kind, *n, *traceOut, *traceCSV, *traceWindow, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "dcgsim:", err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 
 	if *record != "" {
 		if err := recordTrace(*record, *bench, *n); err != nil {
 			fmt.Fprintln(os.Stderr, "dcgsim:", err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 	if *replay != "" {
 		if err := replayTrace(sim, *replay, kind, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "dcgsim:", err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 	if *profile != "" {
 		if err := runProfile(sim, *profile, kind, *n, *verbose); err != nil {
 			fmt.Fprintln(os.Stderr, "dcgsim:", err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 
 	var names []string
@@ -130,7 +147,7 @@ func main() {
 		results, err := runSchemes(sim, name, kinds, *n)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dcgsim: %s: %v\n", name, err)
-			os.Exit(1)
+			exit(1)
 		}
 		for i, res := range results {
 			row := []any{name}
@@ -158,38 +175,49 @@ func main() {
 		m, _ := power.NewModel(machine)
 		fmt.Printf("baseline per-cycle power: %.0f units\n", m.AllOnPower())
 	}
+	exit(0)
 }
 
 // runSchemes evaluates every requested scheme on one benchmark. When two
 // or more of them are timing-neutral, the core timing is simulated once
-// and those schemes are evaluated by replaying the captured usage trace —
-// bit-identical to direct runs. Schemes that perturb timing (PLB) always
-// run the full simulation.
+// and those schemes are all evaluated in a single fused replay pass over
+// the captured usage trace (core.EvaluateTimingAll) — one trace decode,
+// one scan, bit-identical to direct runs. Schemes that perturb timing
+// (PLB) always run the full simulation.
 func runSchemes(sim *core.Simulator, bench string, kinds []core.SchemeKind, n uint64) ([]*core.Result, error) {
-	neutral := 0
+	var neutralKinds []core.SchemeKind
 	for _, k := range kinds {
 		if core.TimingNeutral(k) {
-			neutral++
-		}
-	}
-	var tm *core.Timing
-	if neutral >= 2 {
-		var err error
-		if tm, err = sim.CaptureBenchmark(bench, n); err != nil {
-			return nil, err
+			neutralKinds = append(neutralKinds, k)
 		}
 	}
 	out := make([]*core.Result, len(kinds))
-	for i, k := range kinds {
-		var err error
-		if tm != nil && core.TimingNeutral(k) {
-			out[i], err = sim.EvaluateTiming(tm, k)
-		} else {
-			out[i], err = sim.RunBenchmark(bench, k, n)
+	if len(neutralKinds) >= 2 {
+		tm, err := sim.CaptureBenchmark(bench, n)
+		if err != nil {
+			return nil, err
 		}
+		fused, err := sim.EvaluateTimingAll(tm, neutralKinds)
+		if err != nil {
+			return nil, err
+		}
+		j := 0
+		for i, k := range kinds {
+			if core.TimingNeutral(k) {
+				out[i] = fused[j]
+				j++
+			}
+		}
+	}
+	for i, k := range kinds {
+		if out[i] != nil {
+			continue
+		}
+		res, err := sim.RunBenchmark(bench, k, n)
 		if err != nil {
 			return nil, fmt.Errorf("%v: %w", k, err)
 		}
+		out[i] = res
 	}
 	return out, nil
 }

@@ -47,31 +47,41 @@ options:`)
 
 // runFlags are the options shared by run and resume.
 type runFlags struct {
-	fs       *flag.FlagSet
-	spec     *string
-	dir      *string
-	workers  *int
-	retries  *int
-	storeDir *string
-	storeMax *int64
-	verbose  *bool
+	fs         *flag.FlagSet
+	spec       *string
+	dir        *string
+	workers    *int
+	retries    *int
+	storeDir   *string
+	storeMax   *int64
+	verbose    *bool
+	cpuprofile *string
+	memprofile *string
 }
 
 func newRunFlags(name string) *runFlags {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	f := &runFlags{
-		fs:       fs,
-		dir:      fs.String("dir", "", "job directory (spec, manifest and results live here)"),
-		workers:  fs.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)"),
-		retries:  fs.Int("retries", 1, "re-attempts per failed item"),
-		storeDir: fs.String("store-dir", "", "persistent artifact store directory (shared with dcgserve)"),
-		storeMax: fs.Int64("store-max-bytes", 0, "evict least-recently-used store artifacts above this size (0 = unbounded)"),
-		verbose:  fs.Bool("v", false, "log per-item progress"),
+		fs:         fs,
+		dir:        fs.String("dir", "", "job directory (spec, manifest and results live here)"),
+		workers:    fs.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)"),
+		retries:    fs.Int("retries", 1, "re-attempts per failed item"),
+		storeDir:   fs.String("store-dir", "", "persistent artifact store directory (shared with dcgserve)"),
+		storeMax:   fs.Int64("store-max-bytes", 0, "evict least-recently-used store artifacts above this size (0 = unbounded)"),
+		verbose:    fs.Bool("v", false, "log per-item progress"),
+		cpuprofile: fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		memprofile: fs.String("memprofile", "", "write a heap (allocation) profile to this file on exit"),
 	}
 	if name == "run" {
 		f.spec = fs.String("spec", "", "sweep spec JSON file (required)")
 	}
 	return f
+}
+
+// profiles starts the flagged CPU/heap profiles; the returned stop runs
+// on the sub-command's way out (before main's os.Exit).
+func (f *runFlags) profiles() (func() error, error) {
+	return obs.StartProfiles(*f.cpuprofile, *f.memprofile)
 }
 
 // engine assembles the sweep engine from the flags.
@@ -145,6 +155,16 @@ func cmdRun(args []string) int {
 		fmt.Fprintln(os.Stderr, "dcgsweep:", err)
 		return 2
 	}
+	stopProf, err := f.profiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcgsweep:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "dcgsweep:", err)
+		}
+	}()
 	eng, err := f.engine()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcgsweep:", err)
@@ -165,6 +185,16 @@ func cmdResume(args []string) int {
 		fmt.Fprintln(os.Stderr, "dcgsweep resume: -dir is required")
 		return 2
 	}
+	stopProf, err := f.profiles()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcgsweep:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "dcgsweep:", err)
+		}
+	}()
 	eng, err := f.engine()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dcgsweep:", err)

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+
+	"dcg/internal/gating"
+	"dcg/internal/usagetrace"
+)
+
+// TestFusedReplayMatchesSequentialBitForBit is the fused-engine golden
+// test: evaluating k schemes in one ReplayMulti pass must produce, for
+// every scheme, exactly the Result the sequential one-scheme-at-a-time
+// replay produces — bit for bit, not approximately.
+func TestFusedReplayMatchesSequentialBitForBit(t *testing.T) {
+	const insts = 40_000
+	kinds := []SchemeKind{SchemeNone, SchemeDCG, SchemeOracle}
+	for _, bench := range []string{"gzip", "swim"} {
+		sim := NewSimulator(DefaultMachine())
+		sim.Warmup = 20_000
+		tm, err := sim.CaptureBenchmark(bench, insts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fused, err := sim.EvaluateTimingAll(tm, kinds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fused) != len(kinds) {
+			t.Fatalf("%s: %d results for %d schemes", bench, len(fused), len(kinds))
+		}
+		for i, kind := range kinds {
+			sequential, err := sim.EvaluateTiming(tm, kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertBitIdentical(t, bench+"/fused/"+kind.String(), sequential, fused[i])
+		}
+	}
+}
+
+// TestFusedReplayMatchesSequentialDCGSubsets extends the fused golden
+// test across every DCGOptions ablation subset, all fused into a single
+// pass over one capture.
+func TestFusedReplayMatchesSequentialDCGSubsets(t *testing.T) {
+	const insts = 30_000
+	sim := NewSimulator(DefaultMachine())
+	sim.Warmup = 20_000
+	tm, err := sim.CaptureBenchmark("gcc", insts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultMachine()
+	schemes := make([]gating.Scheme, 0, 16)
+	for mask := 0; mask < 16; mask++ {
+		schemes = append(schemes, gating.NewDCGPartial(cfg, gating.DCGOptions{
+			GateUnits:   mask&1 != 0,
+			GateLatches: mask&2 != 0,
+			GateDCache:  mask&4 != 0,
+			GateBus:     mask&8 != 0,
+		}))
+	}
+	fused, err := sim.EvaluateTimingSchemes(tm, schemes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mask := 0; mask < 16; mask++ {
+		opts := gating.DCGOptions{
+			GateUnits:   mask&1 != 0,
+			GateLatches: mask&2 != 0,
+			GateDCache:  mask&4 != 0,
+			GateBus:     mask&8 != 0,
+		}
+		sequential, err := sim.EvaluateTimingScheme(tm, gating.NewDCGPartial(cfg, opts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitIdentical(t, "fused/"+sequential.Scheme, sequential, fused[mask])
+	}
+}
+
+// TestFusedReplayRejectsPLB: schemes that throttle timing must be
+// rejected by the fused path exactly as by the sequential one.
+func TestFusedReplayRejectsPLB(t *testing.T) {
+	sim := NewSimulator(DefaultMachine())
+	sim.Warmup = 10_000
+	tm, err := sim.CaptureBenchmark("gzip", 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []SchemeKind{SchemePLBOrig, SchemePLBExt} {
+		if _, err := sim.EvaluateTimingAll(tm, []SchemeKind{kind}); err == nil {
+			t.Errorf("fused replay accepted %v, which throttles timing", kind)
+		}
+		// Riding along with neutral schemes must not smuggle it through.
+		if _, err := sim.EvaluateTimingAll(tm, []SchemeKind{SchemeNone, kind, SchemeDCG}); err == nil {
+			t.Errorf("fused replay accepted %v inside a neutral batch", kind)
+		}
+	}
+	if _, err := sim.EvaluateTimingAll(&Timing{}, []SchemeKind{SchemeDCG}); err == nil {
+		t.Error("fused replay accepted a timing with no trace")
+	}
+	if _, err := (&Timing{}).ReplayMulti(); err == nil {
+		t.Error("ReplayMulti accepted a timing with no trace")
+	}
+}
+
+// TestFusedReplayDecodesOnce is the acceptance-criterion counter test: a
+// fused evaluation of three schemes over one captured trace performs
+// exactly one columnar decode, and every later evaluation of the same
+// Timing — fused or single — reuses it.
+func TestFusedReplayDecodesOnce(t *testing.T) {
+	sim := NewSimulator(DefaultMachine())
+	sim.Warmup = 10_000
+	tm, err := sim.CaptureBenchmark("mcf", 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []SchemeKind{SchemeNone, SchemeDCG, SchemeOracle}
+
+	decodes0 := usagetrace.Decodes()
+	reuses0 := usagetrace.DecodeReuses()
+	fused0 := usagetrace.FusedSchemes()
+
+	if _, err := sim.EvaluateTimingAll(tm, kinds); err != nil {
+		t.Fatal(err)
+	}
+	if got := usagetrace.Decodes() - decodes0; got != 1 {
+		t.Fatalf("fused evaluation of %d schemes performed %d decodes, want exactly 1", len(kinds), got)
+	}
+	if got := usagetrace.DecodeReuses() - reuses0; got != 0 {
+		t.Fatalf("first fused evaluation reported %d decode reuses, want 0", got)
+	}
+	if got := usagetrace.FusedSchemes() - fused0; got != uint64(len(kinds)) {
+		t.Fatalf("fused-scheme counter advanced %d, want %d", got, len(kinds))
+	}
+
+	// A second fused pass and a ReplayMulti over the same Timing must
+	// reuse the memoized decode, not decode again.
+	if _, err := sim.EvaluateTimingAll(tm, kinds); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tm.ReplayMulti(); err != nil {
+		t.Fatal(err)
+	}
+	if got := usagetrace.Decodes() - decodes0; got != 1 {
+		t.Fatalf("repeat evaluations re-decoded the trace: %d decodes, want 1", got)
+	}
+	if got := usagetrace.DecodeReuses() - reuses0; got != 2 {
+		t.Fatalf("repeat evaluations reported %d decode reuses, want 2", got)
+	}
+
+	// The decode must describe exactly the captured run.
+	d, err := tm.Trace.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Cycles() != tm.CPUStats.Cycles {
+		t.Errorf("decoded %d cycles, timing ran %d", d.Cycles(), tm.CPUStats.Cycles)
+	}
+	if d.Name() != "mcf" || d.BackLatchStages() != tm.Trace.BackLatchStages() {
+		t.Errorf("decode header mismatch: name=%q stages=%d", d.Name(), d.BackLatchStages())
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+// This file is the fused multi-scheme replay engine: one decoded trace
+// pass evaluates any number of timing-neutral schemes at once. The
+// sequential EvaluateTiming path in core.go re-decodes the encoded
+// stream per scheme; the entry points here decode at most once per
+// Timing (usagetrace.Trace.Decode is memoized) and fan each cycle out
+// to every scheme's gating controller and power accountant, producing
+// Results bit-identical to sequential replays (golden-tested).
+
+import (
+	"fmt"
+
+	"dcg/internal/gating"
+	"dcg/internal/power"
+	"dcg/internal/usagetrace"
+)
+
+// ReplayMulti replays this timing's captured trace through every sink in
+// a single pass. The trace is decoded into columnar form at most once
+// per Timing — concurrent and repeated callers share the memoized
+// decode — and each sink observes exactly the cycle stream a sequential
+// usagetrace.Replay would deliver. Returns the replayed cycle count.
+func (t *Timing) ReplayMulti(sinks ...usagetrace.Sink) (uint64, error) {
+	if t == nil || t.Trace == nil {
+		return 0, fmt.Errorf("core: fused replay requires a captured timing trace")
+	}
+	d, err := t.Trace.Decode()
+	if err != nil {
+		return 0, err
+	}
+	return usagetrace.ReplayAll(d, sinks...), nil
+}
+
+// EvaluateTimingAll evaluates every given timing-neutral scheme kind
+// against one captured timing in a single fused replay pass, returning
+// one Result per kind in order. Equivalent to — and bit-identical with —
+// calling EvaluateTiming once per kind, but the trace is decoded at most
+// once and scanned exactly once regardless of how many schemes ride the
+// pass.
+func (s *Simulator) EvaluateTimingAll(t *Timing, kinds []SchemeKind) ([]*Result, error) {
+	schemes := make([]gating.Scheme, len(kinds))
+	for i, k := range kinds {
+		if !TimingNeutral(k) {
+			return nil, fmt.Errorf("core: scheme %v changes timing and cannot be evaluated by replay", k)
+		}
+		sc, err := s.makeScheme(k)
+		if err != nil {
+			return nil, err
+		}
+		schemes[i] = sc
+	}
+	return s.EvaluateTimingSchemes(t, schemes)
+}
+
+// EvaluateTimingSchemes is EvaluateTimingAll with caller-provided scheme
+// instances (partial-DCG ablations). Every scheme must be timing-neutral
+// — fresh, never throttling, deriving state only from the events and
+// usage vectors it is fed.
+//
+// When the simulator carries Telemetry the evaluation falls back to
+// sequential per-scheme replays: a telemetry recorder observes one
+// scheme's run, and feeding it N interleaved schemes would corrupt its
+// per-cycle stream.
+func (s *Simulator) EvaluateTimingSchemes(t *Timing, schemes []gating.Scheme) ([]*Result, error) {
+	if t == nil || t.Trace == nil {
+		return nil, fmt.Errorf("core: evaluation requires a captured timing trace")
+	}
+	if len(schemes) == 0 {
+		return nil, nil
+	}
+	if s.Telemetry != nil {
+		results := make([]*Result, len(schemes))
+		for i, scheme := range schemes {
+			res, err := s.EvaluateTimingScheme(t, scheme)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+
+	// One power model + accountant lane per scheme: the lanes are fully
+	// independent (construction is deterministic, replay state is
+	// per-lane), so each lane integrates exactly the float sequence its
+	// sequential replay would.
+	models := make([]*power.Model, len(schemes))
+	accts := make([]*power.Accountant, len(schemes))
+	sinks := make([]usagetrace.Sink, len(schemes))
+	for i, scheme := range schemes {
+		model, err := power.NewModel(t.Machine)
+		if err != nil {
+			return nil, err
+		}
+		acct := power.NewAccountant(model, scheme)
+		acct.LeakageFrac = s.LeakageFrac
+		models[i] = model
+		accts[i] = acct
+		sinks[i] = usagetrace.Sink{Issue: scheme, Cycle: acct}
+	}
+
+	cycles, err := t.ReplayMulti(sinks...)
+	if err != nil {
+		return nil, err
+	}
+	if cycles != t.CPUStats.Cycles {
+		return nil, fmt.Errorf("core: trace replays %d cycles but timing ran %d", cycles, t.CPUStats.Cycles)
+	}
+
+	results := make([]*Result, len(schemes))
+	for i, scheme := range schemes {
+		if err := accts[i].Validate(); err != nil {
+			return nil, fmt.Errorf("core: scheme %s: %w", scheme.Name(), err)
+		}
+		results[i] = resultFor(t, scheme, models[i], accts[i])
+	}
+	return results, nil
+}

@@ -147,9 +147,16 @@ type Core struct {
 	intSeq  [isa.NumIntRegs]uint64
 	fpSeq   [isa.NumFPRegs]uint64
 
-	// Front-end pipe (fetched, pre-dispatch).
-	front    []frontEntry
-	frontCap int
+	// Front-end pipe (fetched, pre-dispatch): a fixed ring of frontCap
+	// entries. fetch writes at (frontHead+frontLen)%frontCap, dispatch
+	// consumes at frontHead. A ring instead of an append/shrink slice
+	// keeps the drain-refill cycle allocation-free (the old slice was
+	// re-grown from nil several times per cycle — ~8.3k allocations per
+	// 60k-inst run, 99% of the simulation's total).
+	front     []frontEntry
+	frontCap  int
+	frontHead int
+	frontLen  int
 
 	// Functional units.
 	pools [NumFUTypes]fuPool
@@ -222,6 +229,7 @@ func New(cfg config.Config, src trace.Source) (*Core, error) {
 	// Front-end capacity: one fetch group per front-end stage.
 	frontDepth := 2 + cfg.Pipeline.ExtraFrontEnd // decode + rename + extras
 	c.frontCap = (frontDepth + 1) * cfg.IssueWidth
+	c.front = make([]frontEntry, c.frontCap)
 	c.extraRedirect = cfg.BPred.MispredictPenaly - frontDepth - 3
 	if c.extraRedirect < 0 {
 		c.extraRedirect = 0
@@ -324,7 +332,7 @@ func (c *Core) Run(maxCycles uint64) (uint64, error) {
 					c.cycle, c.stats.Committed, err)
 			}
 		}
-		if c.streamDone && c.robCount == 0 && len(c.front) == 0 && !c.nextValid {
+		if c.streamDone && c.robCount == 0 && c.frontLen == 0 && !c.nextValid {
 			break
 		}
 		c.step()
@@ -583,8 +591,8 @@ func (l Limits) enabledOf(t FUType) int {
 // (register rename + window allocation), up to the machine width.
 func (c *Core) dispatch(cyc uint64) int {
 	n := 0
-	for n < c.cfg.IssueWidth && len(c.front) > 0 {
-		fe := &c.front[0]
+	for n < c.cfg.IssueWidth && c.frontLen > 0 {
+		fe := &c.front[c.frontHead]
 		if fe.eligible > cyc {
 			break
 		}
@@ -622,11 +630,12 @@ func (c *Core) dispatch(cyc uint64) int {
 		if isMem {
 			c.lsqCount++
 		}
-		c.front = c.front[1:]
+		c.frontHead++
+		if c.frontHead == c.frontCap {
+			c.frontHead = 0
+		}
+		c.frontLen--
 		n++
-	}
-	if len(c.front) == 0 {
-		c.front = nil
 	}
 	return n
 }
@@ -677,7 +686,7 @@ func (c *Core) fetch(cyc uint64) {
 	hitLat := c.cfg.IL1.HitLatency
 
 	for k := 0; k < c.cfg.IssueWidth; k++ {
-		if len(c.front) >= c.frontCap {
+		if c.frontLen >= c.frontCap {
 			if k == 0 {
 				c.stats.StallFrontFull++
 			}
@@ -725,7 +734,12 @@ func (c *Core) fetch(cyc uint64) {
 				stop = true
 			}
 		}
-		c.front = append(c.front, fe)
+		slot := c.frontHead + c.frontLen
+		if slot >= c.frontCap {
+			slot -= c.frontCap
+		}
+		c.front[slot] = fe
+		c.frontLen++
 		if stop {
 			return
 		}

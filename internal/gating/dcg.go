@@ -77,6 +77,9 @@ type DCG struct {
 	// one cycle of advance notice (would be a determinism failure).
 	LeadViolations uint64
 
+	// slab backs the caller-owned BackLatchSlots slices (see intSlab).
+	slab intSlab
+
 	// GatedUnitCycles / observed totals, for reporting.
 	stats DCGStats
 }
@@ -178,8 +181,9 @@ func (d *DCG) OnIssue(ev cpu.IssueEvent) {
 
 // Gates implements power.Gater: it reads (and retires) this cycle's
 // schedule entries. The returned GateState is owned by the caller: its
-// slices are freshly allocated each cycle and are never written again by
-// the controller, so consumers may retain GateStates across cycles.
+// slices are cut from never-reused slab memory each cycle and are never
+// written again by the controller, so consumers may retain GateStates
+// across cycles.
 func (d *DCG) Gates(cycle uint64, u *cpu.Usage) power.GateState {
 	idx := cycle % schedHorizon
 
@@ -221,10 +225,11 @@ func (d *DCG) Gates(cycle uint64, u *cpu.Usage) power.GateState {
 	// Latch slots: the piped one-hot encodings enable exactly the slots
 	// instructions flow through (the core's BackLatch vector is, by
 	// construction, the delayed issue/rename one-hot popcount). Copied
-	// into a fresh slice: u.BackLatch is the core's reused buffer, and
-	// aliasing the controller's own scratch here historically corrupted
-	// any GateState a consumer held past the cycle that produced it.
-	slots := make([]int, d.stages)
+	// into a caller-owned slab slice: u.BackLatch is the core's reused
+	// buffer, and aliasing the controller's own scratch here historically
+	// corrupted any GateState a consumer held past the cycle that
+	// produced it.
+	slots := d.slab.take(d.stages)
 	if d.opts.GateLatches {
 		copy(slots, u.BackLatch)
 	} else {

@@ -26,6 +26,9 @@ type Oracle struct {
 	// fetchHist delays the fetch flow through the front-end stages.
 	fetchHist  []int
 	frontDepth int
+
+	// slab backs the caller-owned FrontLatchSlots slices (see intSlab).
+	slab intSlab
 }
 
 // NewOracle builds the headroom scheme.
@@ -62,10 +65,11 @@ func (o *Oracle) Gates(cycle uint64, u *cpu.Usage) power.GateState {
 
 	// Front-end latches: stage s carries the fetch flow delayed s cycles
 	// (oracle knowledge — a real design cannot know this in time). The
-	// returned slice is fresh each cycle: GateStates are caller-owned.
+	// returned slice is never-reused slab memory: GateStates are
+	// caller-owned.
 	copy(o.fetchHist[1:], o.fetchHist[:o.frontDepth-1])
 	o.fetchHist[0] = u.FetchCount
-	front := make([]int, o.frontDepth)
+	front := o.slab.take(o.frontDepth)
 	copy(front, o.fetchHist)
 	gs.FrontLatchSlots = front
 	return gs

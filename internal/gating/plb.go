@@ -75,6 +75,9 @@ type PLB struct {
 	// stages is the number of gatable back-end latch stages.
 	stages int
 
+	// slab backs the caller-owned BackLatchSlots slices (see intSlab).
+	slab intSlab
+
 	// oracle, when non-nil, replaces the trigger FSM: window w runs in
 	// mode oracle[w] (clamped to the last entry). Used by the
 	// prediction-vs-granularity study to give PLB perfect per-window
@@ -256,9 +259,9 @@ func (p *PLB) Gates(cycle uint64, u *cpu.Usage) power.GateState {
 
 	gs.IssueQueueFrac = float64(p.mode) / float64(p.cfg.IssueWidth)
 
-	// GateStates are caller-owned: the slot vector is freshly allocated
-	// each cycle rather than aliasing controller scratch.
-	slots := make([]int, p.stages)
+	// GateStates are caller-owned: the slot vector is cut from
+	// never-reused slab memory rather than aliasing controller scratch.
+	slots := p.slab.take(p.stages)
 	if p.ext {
 		for s := range slots {
 			n := p.mode

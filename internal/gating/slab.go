@@ -1,0 +1,35 @@
+package gating
+
+// intSlab hands out caller-owned []int scratch from large pre-zeroed
+// chunks. The Gates contract says every returned GateState owns its
+// slices — the controller never writes them again — which used to cost
+// one make([]int, stages) per simulated cycle, the dominant allocation
+// of a replay (~30k slice allocations per 60k-inst evaluation). A slab
+// preserves the contract exactly: each take returns a full-capacity
+// slice of memory that has never been handed out before (so no two
+// GateStates share a backing array and nothing is ever rewritten),
+// while paying one allocation per slabChunk ints instead of per cycle.
+type intSlab struct {
+	buf []int
+}
+
+// slabChunk trades allocation rate against retention: a replay with ~6
+// latch stages pays one 32KB chunk per ~680 cycles, and a consumer
+// retaining a single GateState pins at most one chunk.
+const slabChunk = 4096
+
+func (s *intSlab) take(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	if len(s.buf) < n {
+		c := slabChunk
+		if c < n {
+			c = n
+		}
+		s.buf = make([]int, c)
+	}
+	out := s.buf[:n:n]
+	s.buf = s.buf[n:]
+	return out
+}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// StartProfiles enables the standard pair of CLI profiling outputs: a
+// CPU profile streamed to cpuPath and a heap (allocation) profile
+// written to memPath when the returned stop function runs. Either path
+// may be empty to skip that profile. The stop function is idempotent and
+// must be called before the process exits for the profiles to be
+// complete; it returns the first error encountered while finalising.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	var once sync.Once
+	var stopErr error
+	stop = func() error {
+		once.Do(func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				if err := cpuFile.Close(); err != nil && stopErr == nil {
+					stopErr = fmt.Errorf("cpu profile: %w", err)
+				}
+			}
+			if memPath != "" {
+				f, err := os.Create(memPath)
+				if err != nil {
+					if stopErr == nil {
+						stopErr = fmt.Errorf("mem profile: %w", err)
+					}
+					return
+				}
+				runtime.GC() // materialise final live-heap statistics
+				if err := pprof.WriteHeapProfile(f); err != nil && stopErr == nil {
+					stopErr = fmt.Errorf("mem profile: %w", err)
+				}
+				if err := f.Close(); err != nil && stopErr == nil {
+					stopErr = fmt.Errorf("mem profile: %w", err)
+				}
+			}
+		})
+		return stopErr
+	}
+	return stop, nil
+}

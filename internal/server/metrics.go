@@ -9,6 +9,7 @@ import (
 
 	"dcg/internal/obs"
 	"dcg/internal/simrun"
+	"dcg/internal/usagetrace"
 )
 
 // instruments is the server's typed metric set, registered in an
@@ -119,6 +120,21 @@ func (s *Server) newInstruments() *instruments {
 		func() simrun.Stats { return s.exec.ResultStats() })
 	cacheFuncs("dcgserve_timing_cache", "timing-trace cache",
 		func() simrun.Stats { return s.exec.TimingStats() })
+
+	// Fused-replay counters (process-wide, maintained by the trace layer):
+	// how often an encoded usage trace was decoded into its columnar form,
+	// how often an existing decode was reused, and how many scheme lanes
+	// rode fused replay passes. decodes ≪ fused_schemes is the signature of
+	// the decode-once/evaluate-many path working.
+	reg.CounterFunc("dcg_trace_decodes_total",
+		"Columnar decodes of captured usage traces.",
+		func() float64 { return float64(usagetrace.Decodes()) })
+	reg.CounterFunc("dcg_trace_decode_reuses_total",
+		"Replays that reused an already-decoded trace instead of decoding again.",
+		func() float64 { return float64(usagetrace.DecodeReuses()) })
+	reg.CounterFunc("dcg_replay_fused_schemes_total",
+		"Scheme lanes evaluated by fused multi-scheme replay passes.",
+		func() float64 { return float64(usagetrace.FusedSchemes()) })
 
 	reg.GaugeFunc("go_goroutines", "Number of goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })

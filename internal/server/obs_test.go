@@ -144,6 +144,9 @@ func TestMetricsExposition(t *testing.T) {
 		"dcgserve_result_cache_misses_total":    "counter",
 		"dcgserve_result_cache_evictions_total": "counter",
 		"dcgserve_timing_cache_hits_total":      "counter",
+		"dcg_trace_decodes_total":               "counter",
+		"dcg_trace_decode_reuses_total":         "counter",
+		"dcg_replay_fused_schemes_total":        "counter",
 		"go_goroutines":                         "gauge",
 	}
 	for name, kind := range wantTypes {

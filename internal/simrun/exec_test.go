@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"dcg/internal/core"
+	"dcg/internal/usagetrace"
 )
 
 // countingExec wires fake hooks that count executions per layer.
@@ -163,6 +164,34 @@ func TestSingleLevelExecUsesRunnerOnly(t *testing.T) {
 	}
 	if st := e.TimingStats(); st != (Stats{}) {
 		t.Errorf("single-level exec reported timing stats %+v", st)
+	}
+}
+
+// TestExecSharesOneDecodeAcrossNeutralSchemes drives the production hooks
+// end to end and asserts the tentpole property at the executor level: all
+// timing-neutral schemes riding one cached capture — coalesced requests,
+// batch items, sweep followers all land here — share a single columnar
+// trace decode. The leader's result rides the capture run itself (no
+// decode); the first follower decodes; every later follower reuses.
+func TestExecSharesOneDecodeAcrossNeutralSchemes(t *testing.T) {
+	e := NewExec(0, 0)
+	base := Key{Bench: "swim", Insts: 15_000, Warmup: 10_000}
+	kinds := []core.SchemeKind{core.SchemeNone, core.SchemeDCG, core.SchemeOracle}
+
+	decodes0 := usagetrace.Decodes()
+	reuses0 := usagetrace.DecodeReuses()
+	for _, kind := range kinds {
+		k := base
+		k.Scheme = kind
+		if _, _, err := e.Do(context.Background(), k); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+	if got := usagetrace.Decodes() - decodes0; got != 1 {
+		t.Errorf("%d neutral schemes through the executor decoded the trace %d times, want 1", len(kinds), got)
+	}
+	if got := usagetrace.DecodeReuses() - reuses0; got != uint64(len(kinds)-2) {
+		t.Errorf("decode reuses = %d, want %d (followers after the first)", got, len(kinds)-2)
 	}
 }
 

@@ -145,9 +145,17 @@ func Capture(ctx context.Context, k Key) (*core.Result, *core.Timing, error) {
 }
 
 // Evaluate replays a captured timing trace under the key's scheme. The
-// result is bit-identical to a full run with the same key.
+// result is bit-identical to a full run with the same key. The replay
+// goes through the fused decoded-trace path: every Evaluate against the
+// same *core.Timing — coalesced requests, batch items, sweep followers —
+// shares one memoized columnar decode instead of re-reading the encoded
+// stream per scheme.
 func Evaluate(k Key, t *core.Timing) (*core.Result, error) {
-	return simulatorFor(t.Machine, k.Warmup).EvaluateTiming(t, k.Scheme)
+	results, err := simulatorFor(t.Machine, k.Warmup).EvaluateTimingAll(t, []core.SchemeKind{k.Scheme})
+	if err != nil {
+		return nil, err
+	}
+	return results[0], nil
 }
 
 // RunTelemetry executes the full simulation the key identifies with a

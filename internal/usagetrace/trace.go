@@ -5,6 +5,7 @@ import (
 	"compress/gzip"
 	"fmt"
 	"io"
+	"sync"
 
 	"dcg/internal/cpu"
 )
@@ -18,6 +19,13 @@ type Trace struct {
 	stages int
 	cycles uint64
 	data   []byte
+
+	// The memoized columnar decode (Decode). The sync.Once makes a Trace
+	// non-copyable, which is deliberate: every consumer must share the
+	// one decode.
+	decodeOnce sync.Once
+	decoded    *Decoded
+	decodeErr  error
 }
 
 // Name returns the traced workload's name.
@@ -39,6 +47,31 @@ func (t *Trace) Reader() (*Reader, error) {
 	return NewReader(bytes.NewReader(t.data))
 }
 
+// Decode returns the trace's columnar form, decoding the encoded stream
+// at most once per Trace: the first call pays the full decode, every
+// later call — from any goroutine — reuses the memoized result. This is
+// the "decode once, evaluate many" half of the fused replay engine: all
+// coalesced, batched, and sweep-follower scheme evaluations of one
+// captured timing share a single decode. The package-level Decodes /
+// DecodeReuses counters account for both outcomes.
+func (t *Trace) Decode() (*Decoded, error) {
+	fresh := false
+	t.decodeOnce.Do(func() {
+		fresh = true
+		decodeCount.Add(1)
+		rd, err := t.Reader()
+		if err != nil {
+			t.decodeErr = err
+			return
+		}
+		t.decoded, t.decodeErr = decodeColumns(rd, t.cycles)
+	})
+	if !fresh {
+		decodeReuseCount.Add(1)
+	}
+	return t.decoded, t.decodeErr
+}
+
 // WriteTo serialises the trace (header, records, end marker) to w, so a
 // capture can be persisted and later reloaded with ReadTrace.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
@@ -51,7 +84,9 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 // traces compress roughly 3-4x, which is what the persistent artifact
 // store and `dcgsim -trace-out foo.gz` style tooling want on disk.
 func (t *Trace) EncodeGzip(w io.Writer) error {
-	gz := gzip.NewWriter(w)
+	gz := gzipWriterPool.Get().(*gzip.Writer)
+	gz.Reset(w)
+	defer gzipWriterPool.Put(gz)
 	if _, err := gz.Write(t.data); err != nil {
 		gz.Close()
 		return fmt.Errorf("usagetrace: gzip encode: %w", err)
@@ -71,7 +106,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("usagetrace: %w", err)
 	}
 	if len(data) >= 2 && data[0] == gzipMagic0 && data[1] == gzipMagic1 {
-		gz, err := gzip.NewReader(bytes.NewReader(data))
+		gz, err := pooledGzipReader(bytes.NewReader(data))
 		if err != nil {
 			return nil, fmt.Errorf("usagetrace: bad gzip framing: %w", err)
 		}
@@ -81,6 +116,7 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		if err := gz.Close(); err != nil {
 			return nil, fmt.Errorf("usagetrace: corrupt gzip stream: %w", err)
 		}
+		putGzipReader(gz)
 	}
 	rd, err := NewReader(bytes.NewReader(data))
 	if err != nil {

@@ -44,9 +44,43 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sync"
 
 	"dcg/internal/cpu"
 )
+
+// Pooled gzip codecs and encode scratch: a sweep runs thousands of
+// captures and (store-warm) trace loads, and a fresh inflater or a
+// regrown encode buffer per use showed up as steady allocation churn.
+// The pools hand grown buffers from one capture/load to the next.
+var (
+	gzipReaderPool sync.Pool
+	gzipWriterPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+	scratchPool    = sync.Pool{New: func() any { return &encodeScratch{buf: make([]byte, 0, 256)} }}
+)
+
+// encodeScratch is a Writer's reusable encode state: the record build
+// buffer appendEvent/OnCycle encode into, and the pending issue-event
+// buffer. Handed back to scratchPool by Close.
+type encodeScratch struct {
+	buf     []byte
+	pending []cpu.IssueEvent
+}
+
+// pooledGzipReader resets a pooled inflater onto r (or builds the pool's
+// first one). Callers must hand the reader back with putGzipReader.
+func pooledGzipReader(r io.Reader) (*gzip.Reader, error) {
+	if gz, ok := gzipReaderPool.Get().(*gzip.Reader); ok {
+		if err := gz.Reset(r); err != nil {
+			gzipReaderPool.Put(gz)
+			return nil, err
+		}
+		return gz, nil
+	}
+	return gzip.NewReader(r)
+}
+
+func putGzipReader(gz *gzip.Reader) { gzipReaderPool.Put(gz) }
 
 const (
 	traceMagic   = "DCGU"
@@ -84,6 +118,7 @@ type Writer struct {
 
 	pending []cpu.IssueEvent
 	scratch []byte
+	sc      *encodeScratch // pool token backing pending/scratch
 	cycles  uint64
 	lastOcc int64
 
@@ -118,7 +153,15 @@ func NewWriter(w io.Writer, name string, backLatchStages int) (*Writer, error) {
 	if _, err := bw.Write(buf[:n]); err != nil {
 		return nil, err
 	}
-	return &Writer{w: bw, name: name, stages: backLatchStages, scratch: make([]byte, 0, 256)}, nil
+	sc := scratchPool.Get().(*encodeScratch)
+	return &Writer{
+		w:       bw,
+		name:    name,
+		stages:  backLatchStages,
+		scratch: sc.buf[:0],
+		pending: sc.pending[:0],
+		sc:      sc,
+	}, nil
 }
 
 // OnIssue implements cpu.IssueListener: the event is buffered until the
@@ -214,14 +257,15 @@ func (t *Writer) Cycles() uint64 { return t.cycles }
 // Err returns the first latched write error.
 func (t *Writer) Err() error { return t.err }
 
-// Close writes the end marker (tag + total cycle count) and flushes.
-// Events buffered for a cycle whose usage vector never arrived are a
-// capture bug and fail the close.
+// Close writes the end marker (tag + total cycle count) and flushes,
+// then releases the pooled encode scratch. Events buffered for a cycle
+// whose usage vector never arrived are a capture bug and fail the close.
 func (t *Writer) Close() error {
 	if t.closed {
 		return t.err
 	}
 	t.closed = true
+	defer t.releaseScratch()
 	if t.err != nil {
 		return t.err
 	}
@@ -238,6 +282,18 @@ func (t *Writer) Close() error {
 	}
 	t.err = t.w.Flush()
 	return t.err
+}
+
+// releaseScratch hands the (possibly grown) encode buffers back to the
+// pool for the next capture.
+func (t *Writer) releaseScratch() {
+	if t.sc == nil {
+		return
+	}
+	t.sc.buf = t.scratch[:0]
+	t.sc.pending = t.pending[:0]
+	scratchPool.Put(t.sc)
+	t.sc, t.scratch, t.pending = nil, nil, nil
 }
 
 // Reader decodes a capture stream cycle by cycle. The usage vector and
