@@ -373,9 +373,12 @@ func BenchmarkReplaySingle(b *testing.B) {
 // BenchmarkReplaySingle: all k schemes evaluated in one pass over the
 // memoized columnar decode (one decode per capture, ever — see
 // docs/PERFORMANCE.md). Results are bit-identical to the sequential path
-// (TestFusedReplayMatchesSequentialBitForBit).
+// (TestFusedReplayMatchesSequentialBitForBit). The packed kernel is
+// disabled so this measures the scalar fused engine specifically;
+// BenchmarkReplayPackedN is the packed counterpart.
 func BenchmarkReplayFusedN(b *testing.B) {
 	sim := core.NewSimulator(core.DefaultMachine())
+	sim.DisablePackedReplay = true
 	tm, err := sim.CaptureBenchmark("swim", benchInsts)
 	if err != nil {
 		b.Fatal(err)
@@ -383,6 +386,27 @@ func BenchmarkReplayFusedN(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		results, err := sim.EvaluateTimingAll(tm, replayKinds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*results[1].Saving, "dcg-save%")
+	}
+}
+
+// BenchmarkReplayPackedN measures the bit-packed columnar kernel on the
+// same work as BenchmarkReplayFusedN: all k timing-neutral schemes
+// derived word-at-a-time from the decode-time bit-planes and schedule
+// aggregates, no per-cycle callbacks at all. Results are bit-identical
+// to both scalar paths (TestPackedReplayMatchesScalarBitForBit).
+func BenchmarkReplayPackedN(b *testing.B) {
+	sim := core.NewSimulator(core.DefaultMachine())
+	tm, err := sim.CaptureBenchmark("swim", benchInsts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := sim.EvaluateTimingPacked(tm, replayKinds)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -260,6 +260,12 @@ type Simulator struct {
 	// PipelineRecorder implements it; dcgsim -trace-out and the server's
 	// /v1/trace endpoint wire it up.
 	Telemetry RunTelemetry
+
+	// DisablePackedReplay forces replay evaluations down the scalar fused
+	// path even when every scheme is packed-eligible. For tests and
+	// benchmarks that target the scalar engine specifically; production
+	// callers leave it false and get the packed kernel automatically.
+	DisablePackedReplay bool
 }
 
 // RunTelemetry observes a run: the usage stream plus each cycle's gating
@@ -526,7 +532,7 @@ func resultFor(t *Timing, scheme gating.Scheme, model *power.Model, acct *power.
 		AvgPower:       acct.AvgPower(),
 		BaselinePower:  model.AllOnPower(),
 		Saving:         acct.Saving(),
-		Energy:         acct.Energy,
+		Energy:         acct.Breakdown(),
 		CPUStats:       *st,
 		Util:           t.Util,
 		Stall:          t.Stall,

@@ -107,10 +107,13 @@ func TestFusedReplayRejectsPLB(t *testing.T) {
 // TestFusedReplayDecodesOnce is the acceptance-criterion counter test: a
 // fused evaluation of three schemes over one captured trace performs
 // exactly one columnar decode, and every later evaluation of the same
-// Timing — fused or single — reuses it.
+// Timing — fused or single — reuses it. The packed kernel is disabled:
+// this test pins the scalar fused engine's counters (FusedSchemes only
+// advances when ReplayAll actually feeds sinks).
 func TestFusedReplayDecodesOnce(t *testing.T) {
 	sim := NewSimulator(DefaultMachine())
 	sim.Warmup = 10_000
+	sim.DisablePackedReplay = true
 	tm, err := sim.CaptureBenchmark("mcf", 20_000)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,118 @@
+package core
+
+// This file routes replay evaluations through the bit-packed columnar
+// kernel (usagetrace.Packed + gating.PackedTally): for eligible scheme
+// sets, per-scheme results are derived from decode-time bit-planes and
+// aggregates in O(cycles/64)-ish work instead of a full per-cycle
+// callback replay, with Results bit-identical to the scalar fused
+// engine. Ineligible sets (PLB is timing-changing and never gets here;
+// telemetry runs, mismatched machine configs, bus schedules beyond the
+// histogram's exact range) fall back to scalar ReplayAll transparently.
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dcg/internal/gating"
+	"dcg/internal/power"
+)
+
+// Package-wide packed-replay accounting, exported for the service's
+// /metrics endpoint and the routing regression tests. Monotonic
+// process-lifetime counters.
+var (
+	packedSchemeCount   atomic.Uint64
+	packedFallbackCount atomic.Uint64
+)
+
+// PackedReplaySchemes returns how many scheme evaluations the packed
+// kernel has served process-wide.
+func PackedReplaySchemes() uint64 { return packedSchemeCount.Load() }
+
+// PackedReplayFallbacks returns how many replay evaluations requested
+// the packed kernel but fell back to the scalar fused engine (wrapped or
+// foreign scheme types, machine mismatch, out-of-range bus schedules).
+func PackedReplayFallbacks() uint64 { return packedFallbackCount.Load() }
+
+// EvaluateTimingPacked evaluates timing-neutral scheme kinds against a
+// captured timing strictly through the packed kernel: unlike
+// EvaluateTimingAll — which routes here automatically and falls back to
+// scalar replay when it must — this entry returns an error if the set
+// cannot be packed-evaluated. For benchmarks and tests that must know
+// which engine ran.
+func (s *Simulator) EvaluateTimingPacked(t *Timing, kinds []SchemeKind) ([]*Result, error) {
+	if t == nil || t.Trace == nil {
+		return nil, fmt.Errorf("core: evaluation requires a captured timing trace")
+	}
+	schemes := make([]gating.Scheme, len(kinds))
+	for i, k := range kinds {
+		if !TimingNeutral(k) {
+			return nil, fmt.Errorf("core: scheme %v changes timing and cannot be evaluated by replay", k)
+		}
+		sc, err := s.makeScheme(k)
+		if err != nil {
+			return nil, err
+		}
+		schemes[i] = sc
+	}
+	results, ok, err := s.evalPackedSchemes(t, schemes)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: scheme set is not packed-evaluable (telemetry, disabled, or ineligible scheme)")
+	}
+	return results, nil
+}
+
+// evalPackedSchemes attempts the packed evaluation of a scheme set.
+// ok=false (with nil error) means the caller should fall back to the
+// scalar fused engine; an error means the evaluation is invalid on any
+// path. All-or-nothing across the set: one ineligible scheme sends the
+// whole set to the scalar engine, keeping the one-pass fusion there.
+func (s *Simulator) evalPackedSchemes(t *Timing, schemes []gating.Scheme) ([]*Result, bool, error) {
+	if s.Telemetry != nil || s.DisablePackedReplay {
+		return nil, false, nil
+	}
+	d, err := t.Trace.Decode()
+	if err != nil {
+		return nil, false, err
+	}
+	if d.Cycles() != t.CPUStats.Cycles {
+		return nil, false, fmt.Errorf("core: trace replays %d cycles but timing ran %d",
+			d.Cycles(), t.CPUStats.Cycles)
+	}
+
+	tallies := make([]power.Tally, len(schemes))
+	leads := make([]uint64, len(schemes))
+	for i, scheme := range schemes {
+		tally, lead, ok := gating.PackedTally(d, scheme, t.Machine)
+		if !ok {
+			packedFallbackCount.Add(uint64(len(schemes)))
+			return nil, false, nil
+		}
+		tallies[i] = tally
+		leads[i] = lead
+	}
+
+	results := make([]*Result, len(schemes))
+	for i, scheme := range schemes {
+		model, err := power.NewModel(t.Machine)
+		if err != nil {
+			return nil, false, err
+		}
+		acct := power.NewAccountant(model, scheme)
+		acct.LeakageFrac = s.LeakageFrac
+		acct.Tally = tallies[i]
+		if err := acct.Validate(); err != nil {
+			return nil, false, fmt.Errorf("core: scheme %s: %w", scheme.Name(), err)
+		}
+		res := resultFor(t, scheme, model, acct)
+		// The scheme instance was never fed, so resultFor's type switch
+		// read zero lead violations; install the packed kernel's count.
+		res.LeadViolations = leads[i]
+		results[i] = res
+	}
+	packedSchemeCount.Add(uint64(len(schemes)))
+	return results, true, nil
+}

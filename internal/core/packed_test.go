@@ -1,0 +1,310 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"dcg/internal/cpu"
+	"dcg/internal/gating"
+	"dcg/internal/usagetrace"
+)
+
+// scalarSim returns a simulator pinned to the scalar fused engine — the
+// reference the packed kernel is golden-tested against.
+func scalarSim() *Simulator {
+	sim := NewSimulator(DefaultMachine())
+	sim.DisablePackedReplay = true
+	return sim
+}
+
+// allDCGSubsets builds one DCG instance per ablation subset.
+func allDCGSubsets() []gating.Scheme {
+	cfg := DefaultMachine()
+	schemes := make([]gating.Scheme, 0, 16)
+	for mask := 0; mask < 16; mask++ {
+		schemes = append(schemes, gating.NewDCGPartial(cfg, gating.DCGOptions{
+			GateUnits:   mask&1 != 0,
+			GateLatches: mask&2 != 0,
+			GateDCache:  mask&4 != 0,
+			GateBus:     mask&8 != 0,
+		}))
+	}
+	return schemes
+}
+
+// TestPackedReplayMatchesScalarBitForBit is the packed-kernel golden
+// test on real captures: the strict packed entry must produce, for every
+// timing-neutral scheme kind, exactly the Result the scalar fused engine
+// produces — bit for bit.
+func TestPackedReplayMatchesScalarBitForBit(t *testing.T) {
+	const insts = 40_000
+	kinds := []SchemeKind{SchemeNone, SchemeDCG, SchemeOracle}
+	for _, bench := range []string{"gzip", "swim"} {
+		scalar := scalarSim()
+		scalar.Warmup = 20_000
+		tm, err := scalar.CaptureBenchmark(bench, insts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scalarRes, err := scalar.EvaluateTimingAll(tm, kinds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		packed := NewSimulator(DefaultMachine())
+		packed.Warmup = 20_000
+		packedRes, err := packed.EvaluateTimingPacked(tm, kinds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, kind := range kinds {
+			assertBitIdentical(t, bench+"/packed/"+kind.String(), scalarRes[i], packedRes[i])
+		}
+	}
+}
+
+// TestPackedReplayMatchesScalarDCGSubsets extends the packed golden test
+// across all 16 DCGOptions ablation subsets on a real capture.
+func TestPackedReplayMatchesScalarDCGSubsets(t *testing.T) {
+	scalar := scalarSim()
+	scalar.Warmup = 20_000
+	tm, err := scalar.CaptureBenchmark("gcc", 30_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalarRes, err := scalar.EvaluateTimingSchemes(tm, allDCGSubsets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed := NewSimulator(DefaultMachine())
+	packedRes, ok, err := packed.evalPackedSchemes(tm, allDCGSubsets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("DCG ablation subsets were not packed-evaluable")
+	}
+	for i := range packedRes {
+		assertBitIdentical(t, "packed/"+packedRes[i].Scheme, scalarRes[i], packedRes[i])
+	}
+}
+
+// craftTiming captures a fully scripted trace against the default
+// machine and wraps it in a minimal Timing, so adversarial cycle
+// patterns that no real workload produces can drive both replay engines.
+func craftTiming(t *testing.T, usages []cpu.Usage, events map[int][]cpu.IssueEvent) *Timing {
+	t.Helper()
+	machine := DefaultMachine()
+	stages := machine.BackEndLatchStages()
+	rec, err := usagetrace.NewRecorder("adversarial", stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range usages {
+		for _, ev := range events[c] {
+			ev.Cycle = uint64(c)
+			rec.OnIssue(ev)
+		}
+		u := usages[c]
+		u.Cycle = uint64(c)
+		if u.BackLatch == nil {
+			u.BackLatch = make([]int, stages)
+		}
+		rec.OnCycle(&u)
+	}
+	tr, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := &Timing{Benchmark: "adversarial", Machine: machine, Trace: tr}
+	tm.CPUStats.Cycles = uint64(len(usages))
+	return tm
+}
+
+// TestPackedReplayAdversarialTraces golden-tests the packed kernel
+// against the scalar engine on crafted traces that hit the
+// representation's edges: all-zero usage, saturated FU masks with
+// over-capacity ports/buses/latches (gate violations on every class),
+// a single-cycle trace, and a cycle count indivisible by 64 carrying
+// lead-violating, ring-wrapping, and schedule-escaping events.
+func TestPackedReplayAdversarialTraces(t *testing.T) {
+	kinds := []SchemeKind{SchemeNone, SchemeDCG, SchemeOracle}
+
+	traces := map[string]*Timing{}
+
+	// All-zero usage, partial tail word.
+	traces["all-zero"] = craftTiming(t, make([]cpu.Usage, 100), nil)
+
+	// Saturated masks and over-capacity counts every cycle: the default
+	// machine has 6/2/4/4 units, 2 ports, issue width 8 — every cycle
+	// violates every structure class, in a full 64-cycle word.
+	sat := make([]cpu.Usage, 64)
+	for c := range sat {
+		sat[c] = cpu.Usage{
+			IntALUBusy: ^uint32(0), IntMultBusy: ^uint32(0),
+			FPALUBusy: ^uint32(0), FPMultBusy: ^uint32(0),
+			DPortUsed: 5, ResultBus: 20, FetchCount: 8, WindowOccupancy: 128,
+			// Stage 0 is over-width (9 > issue width 8) but the total stays
+			// within aggregate capacity, so Validate accepts the accounting
+			// while the over-full latch plane still fires every cycle.
+			BackLatch: []int{9, 8, 8, 8, 7},
+		}
+	}
+	traces["saturated"] = craftTiming(t, sat, nil)
+
+	// Single cycle.
+	traces["single-cycle"] = craftTiming(t, []cpu.Usage{{
+		IssueCount: 1, IntALUBusy: 1, FetchCount: 3, WindowOccupancy: 40,
+	}}, nil)
+
+	// 131 cycles (tail word), scripted events: a covered grant, a
+	// zero-lead (violating) event, a far-future ring-wrapping latency,
+	// usage escaping the schedule, and a unit index past the pool size
+	// (exercising the 32-bit mask shift semantics both engines share).
+	n := 131
+	usages := make([]cpu.Usage, n)
+	for c := range usages {
+		usages[c] = cpu.Usage{
+			IssueCount: c % 4, CommitCount: c % 5, FetchCount: c % 9,
+			WindowOccupancy: c % 129,
+			BackLatch:       []int{c % 3, c % 4, c % 5, c % 2, c % 7},
+		}
+	}
+	for c := 7; c <= 9; c++ {
+		usages[c].IntALUBusy = 1 << 2
+	}
+	usages[12].IntALUBusy = 1 << 3 // never granted: schedule violation
+	usages[20].DPortUsed = 1       // covered by the scheduled load
+	usages[21].DPortUsed = 1       // not covered
+	usages[30].ResultBus = 1       // covered writeback
+	events := map[int][]cpu.IssueEvent{
+		5: {{
+			FUIdx: 2, FUType: cpu.FUIntALU, FUStart: 7, FULat: 3,
+			IsLoad: true, DPortCycle: 20,
+			WritesReg: true, ResultBusCycle: 30,
+		}},
+		40: {{ // zero lead on all three aspects
+			FUIdx: 0, FUType: cpu.FUIntMult, FUStart: 40, FULat: 1,
+			IsLoad: true, DPortCycle: 40,
+			WritesReg: true, ResultBusCycle: 40,
+		}},
+		50: {{ // latency far past the schedule horizon
+			FUIdx: 1, FUType: cpu.FUFPALU, FUStart: 52, FULat: 3 * 8192,
+		}},
+		60: {{ // unit index beyond any pool: both engines shift it out
+			FUIdx: 40, FUType: cpu.FUFPMult, FUStart: 62, FULat: 2,
+		}},
+	}
+	traces["tail-word-events"] = craftTiming(t, usages, events)
+
+	for name, tm := range traces {
+		scalar := scalarSim()
+		scalarRes, err := scalar.EvaluateTimingAll(tm, kinds)
+		if err != nil {
+			t.Fatalf("%s: scalar: %v", name, err)
+		}
+		packed := NewSimulator(DefaultMachine())
+		packedRes, err := packed.EvaluateTimingPacked(tm, kinds)
+		if err != nil {
+			t.Fatalf("%s: packed: %v", name, err)
+		}
+		for i, kind := range kinds {
+			assertBitIdentical(t, name+"/"+kind.String(), scalarRes[i], packedRes[i])
+		}
+
+		scalarSub, err := scalar.EvaluateTimingSchemes(tm, allDCGSubsets())
+		if err != nil {
+			t.Fatalf("%s: scalar subsets: %v", name, err)
+		}
+		packedSub, ok, err := packed.evalPackedSchemes(tm, allDCGSubsets())
+		if err != nil {
+			t.Fatalf("%s: packed subsets: %v", name, err)
+		}
+		if !ok {
+			t.Fatalf("%s: subsets not packed-evaluable", name)
+		}
+		for i := range packedSub {
+			assertBitIdentical(t, name+"/"+packedSub[i].Scheme, scalarSub[i], packedSub[i])
+		}
+	}
+
+	// The saturated trace must actually report violations — silence here
+	// would mean the planes compared equal because both were broken.
+	scalar := scalarSim()
+	res, err := scalar.EvaluateTimingAll(traces["saturated"], []SchemeKind{SchemeDCG})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].GateViolations != 64 {
+		t.Errorf("saturated trace: %d gate violations under dcg, want 64 (every cycle)", res[0].GateViolations)
+	}
+}
+
+// TestPackedReplayRouting pins the automatic routing and its counters:
+// eligible sets ride the packed kernel, a machine-mismatched scheme
+// falls the whole set back to the scalar engine with identical results,
+// and the strict entry refuses what it cannot pack.
+func TestPackedReplayRouting(t *testing.T) {
+	sim := NewSimulator(DefaultMachine())
+	sim.Warmup = 10_000
+	tm, err := sim.CaptureBenchmark("gzip", 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []SchemeKind{SchemeNone, SchemeDCG, SchemeOracle}
+
+	packed0 := PackedReplaySchemes()
+	fallback0 := PackedReplayFallbacks()
+	fused0 := usagetrace.FusedSchemes()
+
+	if _, err := sim.EvaluateTimingAll(tm, kinds); err != nil {
+		t.Fatal(err)
+	}
+	if got := PackedReplaySchemes() - packed0; got != uint64(len(kinds)) {
+		t.Fatalf("packed-scheme counter advanced %d, want %d", got, len(kinds))
+	}
+	if got := usagetrace.FusedSchemes() - fused0; got != 0 {
+		t.Fatalf("packed evaluation fed %d sinks through the scalar engine, want 0", got)
+	}
+	if got := PackedReplayFallbacks() - fallback0; got != 0 {
+		t.Fatalf("eligible set recorded %d fallbacks, want 0", got)
+	}
+
+	// A scheme built for a foreign machine: ineligible, whole set falls
+	// back to the scalar engine and still returns correct results.
+	other := DefaultMachine()
+	other.IssueWidth = 4
+	mixed := []gating.Scheme{gating.NewDCG(DefaultMachine()), gating.NewDCG(other)}
+	results, err := sim.EvaluateTimingSchemes(tm, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("fallback evaluation returned %d results, want 2", len(results))
+	}
+	if got := PackedReplayFallbacks() - fallback0; got != 2 {
+		t.Fatalf("fallback counter advanced %d, want 2 (whole set)", got)
+	}
+	if got := usagetrace.FusedSchemes() - fused0; got != 2 {
+		t.Fatalf("fallback fed %d scalar sinks, want 2", got)
+	}
+	reference, err := sim.EvaluateTimingScheme(tm, gating.NewDCG(DefaultMachine()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, "fallback/dcg", reference, results[0])
+
+	// Strict entry: refuses PLB, a telemetry simulator, and a disabled
+	// one — it must never silently hand back scalar results.
+	if _, err := sim.EvaluateTimingPacked(tm, []SchemeKind{SchemePLBExt}); err == nil {
+		t.Error("strict packed entry accepted PLB")
+	}
+	offSim := NewSimulator(DefaultMachine())
+	offSim.DisablePackedReplay = true
+	if _, err := offSim.EvaluateTimingPacked(tm, kinds); err == nil ||
+		!strings.Contains(err.Error(), "not packed-evaluable") {
+		t.Errorf("strict packed entry on a disabled simulator: err = %v", err)
+	}
+	if _, err := sim.EvaluateTimingPacked(&Timing{}, kinds); err == nil {
+		t.Error("strict packed entry accepted a timing with no trace")
+	}
+}

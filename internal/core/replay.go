@@ -81,6 +81,16 @@ func (s *Simulator) EvaluateTimingSchemes(t *Timing, schemes []gating.Scheme) ([
 		return results, nil
 	}
 
+	// Word-at-a-time fast path: when every scheme in the set can be
+	// derived from the decode-time bit-packed columns, skip the per-cycle
+	// replay entirely (bit-identical results, golden-tested). Falls
+	// through to the scalar fused engine otherwise.
+	if results, ok, err := s.evalPackedSchemes(t, schemes); err != nil {
+		return nil, err
+	} else if ok {
+		return results, nil
+	}
+
 	// One power model + accountant lane per scheme: the lanes are fully
 	// independent (construction is deterministic, replay state is
 	// per-lane), so each lane integrates exactly the float sequence its

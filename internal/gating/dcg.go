@@ -7,14 +7,17 @@ import (
 	"dcg/internal/config"
 	"dcg/internal/cpu"
 	"dcg/internal/power"
+	"dcg/internal/usagetrace"
 )
 
 // schedHorizon is the DCG controller's schedule depth in cycles; it must
 // exceed the longest issue-to-writeback distance — a load queued behind a
 // full MSHR file backed by a full LSQ (~7300 cycles on the Table 1
 // machine). It must also be at least the core's scheduling horizon so the
-// two rings wrap identically.
-const schedHorizon = 8192
+// two rings wrap identically. The canonical constant lives in usagetrace,
+// whose packed decode pass mirrors this ring; the two must stay equal by
+// construction.
+const schedHorizon = usagetrace.SchedHorizon
 
 // DCG implements deterministic clock gating (sections 2-3).
 //

@@ -52,15 +52,61 @@ type Gater interface {
 	Gates(cycle uint64, u *cpu.Usage) GateState
 }
 
-// Accountant integrates per-cycle power into a per-component energy
-// breakdown, applying a Gater's decisions with the paper's accounting
-// rule: full per-cycle power when not gated, zero when gated.
-// It implements cpu.Observer.
-type Accountant struct {
-	Model  *Model
-	Gater  Gater
-	Energy Breakdown
+// Tally is the order-free integral of a run's gating decisions: every
+// quantity the energy breakdown depends on, accumulated as exact integer
+// sums (plus the one genuinely per-cycle float series, the issue-queue
+// fraction). Energy is derived from a Tally in closed form (Breakdown),
+// never integrated cycle by cycle — which is what lets the bit-packed
+// replay kernel reproduce the scalar path's floats exactly: two paths
+// that agree on the Tally agree on every derived float bit for bit,
+// because the final float expressions are shared.
+type Tally struct {
+	// Cycles is the number of accounted cycles.
 	Cycles uint64
+
+	// UnitOn[t] is the summed popcount of the enabled-unit masks of
+	// execution pool t across all cycles.
+	UnitOn [cpu.NumFUTypes]int64
+
+	// BackSlotsOn is the summed enabled back-end latch slots (all stages,
+	// all cycles); FrontSlotsOn likewise for gated front-end stages.
+	BackSlotsOn  int64
+	FrontSlotsOn int64
+
+	// FrontFullCycles counts cycles whose GateState carried no
+	// FrontLatchSlots vector — the front latches were left fully on.
+	FrontFullCycles uint64
+
+	// DPortsOn / BusOn are the summed enabled D-cache wordline decoders
+	// and result-bus drivers. DPortsOn may exceed ports x cycles: DCG
+	// reports its raw schedule count and the accountant charges it as-is.
+	DPortsOn int64
+	BusOn    int64
+
+	// IssueQueueFracSum is the per-cycle issue-queue enabled fraction,
+	// accumulated in cycle order. This is the only float in the tally:
+	// the oracle's occupancy/window series is not integer-valued, so both
+	// accounting paths accumulate it with the identical sequential adds.
+	IssueQueueFracSum float64
+
+	// ControlCycles counts cycles charged the DCG control-latch overhead.
+	ControlCycles uint64
+
+	// GateViolations counts cycles in which a gating decision disabled a
+	// structure the pipeline actually used — a correctness failure for a
+	// deterministic scheme (must stay 0 for DCG; PLB avoids it by
+	// throttling the pipeline to its gated configuration).
+	GateViolations uint64
+}
+
+// Accountant integrates per-cycle gating decisions into a Tally and
+// derives the per-component energy breakdown from it, applying the
+// paper's accounting rule: full per-cycle power when not gated, zero
+// when gated. It implements cpu.Observer.
+type Accountant struct {
+	Model *Model
+	Gater Gater
+	Tally
 
 	// LeakageFrac extends the paper's model: a gated structure still
 	// burns this fraction of its per-cycle power as leakage. The paper
@@ -68,12 +114,6 @@ type Accountant struct {
 	// 4.2), which is the default; the ablation study reports how savings
 	// shrink as leakage grows.
 	LeakageFrac float64
-
-	// GateViolations counts cycles in which a gating decision disabled a
-	// structure the pipeline actually used — a correctness failure for a
-	// deterministic scheme (must stay 0 for DCG; PLB avoids it by
-	// throttling the pipeline to its gated configuration).
-	GateViolations uint64
 }
 
 // NewAccountant builds an accountant for the model and gating scheme.
@@ -83,59 +123,35 @@ func NewAccountant(m *Model, g Gater) *Accountant {
 
 // OnCycle implements cpu.Observer.
 func (a *Accountant) OnCycle(u *cpu.Usage) {
-	m := a.Model
 	gs := a.Gater.Gates(u.Cycle, u)
 	a.Cycles++
 
-	// Gating accounting rule: full power per enabled instance, plus
-	// leakage on gated instances (zero by default, per the paper's
-	// section 4.2).
-	lk := a.LeakageFrac
-	gated := func(on, total int) float64 { return float64(on) + lk*float64(total-on) }
-	cfg := m.cfg
+	a.UnitOn[cpu.FUIntALU] += int64(bits.OnesCount32(gs.IntALUMask))
+	a.UnitOn[cpu.FUIntMult] += int64(bits.OnesCount32(gs.IntMultMask))
+	a.UnitOn[cpu.FUFPALU] += int64(bits.OnesCount32(gs.FPALUMask))
+	a.UnitOn[cpu.FUFPMult] += int64(bits.OnesCount32(gs.FPMultMask))
 
-	// Fixed blocks: always on.
-	a.Energy[CompClockTree] += m.perCycle[CompClockTree]
-	a.Energy[CompFetch] += m.perCycle[CompFetch]
-	a.Energy[CompDecode] += m.perCycle[CompDecode]
-	a.Energy[CompRename] += m.perCycle[CompRename]
-	a.Energy[CompBPred] += m.perCycle[CompBPred]
-	a.Energy[CompRegFile] += m.perCycle[CompRegFile]
-	a.Energy[CompLSQ] += m.perCycle[CompLSQ]
-	a.Energy[CompL2] += m.perCycle[CompL2]
-	a.Energy[CompDCacheOther] += m.perCycle[CompDCacheOther]
+	slots := 0
+	for _, n := range gs.BackLatchSlots {
+		slots += n
+	}
+	a.BackSlotsOn += int64(slots)
+
 	if gs.FrontLatchSlots == nil {
-		a.Energy[CompLatchFront] += m.perCycle[CompLatchFront]
+		a.FrontFullCycles++
 	} else {
 		fslots := 0
 		for _, n := range gs.FrontLatchSlots {
 			fslots += n
 		}
-		a.Energy[CompLatchFront] += m.LatchSlot * gated(fslots, cfg.IssueWidth*m.FrontLatchStages)
+		a.FrontSlotsOn += int64(fslots)
 	}
 
-	a.Energy[CompIssueQueue] += m.perCycle[CompIssueQueue] * gs.IssueQueueFrac
-
-	a.Energy[CompIntALU] += m.IntALUUnit * gated(bits.OnesCount32(gs.IntALUMask), cfg.FU.IntALU)
-	a.Energy[CompIntMult] += m.IntMultUnit * gated(bits.OnesCount32(gs.IntMultMask), cfg.FU.IntMult)
-	a.Energy[CompFPALU] += m.FPALUUnit * gated(bits.OnesCount32(gs.FPALUMask), cfg.FU.FPALU)
-	a.Energy[CompFPMult] += m.FPMultUnit * gated(bits.OnesCount32(gs.FPMultMask), cfg.FU.FPMult)
-
-	// Pipeline latches: per enabled slot per stage.
-	slots := 0
-	for _, n := range gs.BackLatchSlots {
-		slots += n
-	}
-	a.Energy[CompLatchBack] += m.LatchSlot * gated(slots, cfg.IssueWidth*m.BackLatchStages)
-
-	// D-cache wordline decoders: per enabled port.
-	a.Energy[CompDCacheDecoder] += m.DecoderPort * gated(gs.DPortsOn, cfg.DL1.Ports)
-
-	// Result bus drivers: per enabled bus.
-	a.Energy[CompResultBus] += m.ResultBusUnit * gated(gs.ResultBusOn, cfg.IssueWidth)
-
+	a.DPortsOn += int64(gs.DPortsOn)
+	a.BusOn += int64(gs.ResultBusOn)
+	a.IssueQueueFracSum += gs.IssueQueueFrac
 	if gs.ControlOverhead {
-		a.Energy[CompDCGControl] += m.perCycle[CompDCGControl]
+		a.ControlCycles++
 	}
 
 	// Soundness check: a gated structure must not have been used.
@@ -156,14 +172,66 @@ func (a *Accountant) OnCycle(u *cpu.Usage) {
 	}
 }
 
-func f64(n int) float64 { return float64(n) }
+// gatedSum applies the gating accounting rule to a summed on-count over
+// a summed capacity: full power per enabled instance-cycle, LeakageFrac
+// per gated one. Every energy consumer — scalar replay, direct run, and
+// the packed kernel — derives its floats through this one expression, so
+// equal tallies give bit-equal energies.
+func (a *Accountant) gatedSum(on, total int64) float64 {
+	return float64(on) + a.LeakageFrac*float64(total-on)
+}
+
+// Breakdown derives the per-component energy from the tally in closed
+// form (power x instance-cycles). Cheap enough to call freely; nothing
+// is cached.
+func (a *Accountant) Breakdown() Breakdown {
+	var b Breakdown
+	m := a.Model
+	cfg := m.cfg
+	n := int64(a.Cycles)
+	fn := float64(a.Cycles)
+
+	// Fixed blocks: always on.
+	for _, c := range [...]Component{
+		CompClockTree, CompFetch, CompDecode, CompRename, CompBPred,
+		CompRegFile, CompLSQ, CompL2, CompDCacheOther,
+	} {
+		b[c] = m.perCycle[c] * fn
+	}
+
+	// Front latches: full power on the cycles no scheme gated them, the
+	// per-slot gating rule on the (oracle) cycles one did.
+	gatedFront := n - int64(a.FrontFullCycles)
+	b[CompLatchFront] = m.perCycle[CompLatchFront]*float64(a.FrontFullCycles) +
+		m.LatchSlot*a.gatedSum(a.FrontSlotsOn, int64(cfg.IssueWidth*m.FrontLatchStages)*gatedFront)
+
+	b[CompIssueQueue] = m.perCycle[CompIssueQueue] * a.IssueQueueFracSum
+
+	b[CompIntALU] = m.IntALUUnit * a.gatedSum(a.UnitOn[cpu.FUIntALU], int64(cfg.FU.IntALU)*n)
+	b[CompIntMult] = m.IntMultUnit * a.gatedSum(a.UnitOn[cpu.FUIntMult], int64(cfg.FU.IntMult)*n)
+	b[CompFPALU] = m.FPALUUnit * a.gatedSum(a.UnitOn[cpu.FUFPALU], int64(cfg.FU.FPALU)*n)
+	b[CompFPMult] = m.FPMultUnit * a.gatedSum(a.UnitOn[cpu.FUFPMult], int64(cfg.FU.FPMult)*n)
+
+	// Pipeline latches: per enabled slot per stage.
+	b[CompLatchBack] = m.LatchSlot * a.gatedSum(a.BackSlotsOn, int64(cfg.IssueWidth*m.BackLatchStages)*n)
+
+	// D-cache wordline decoders: per enabled port.
+	b[CompDCacheDecoder] = m.DecoderPort * a.gatedSum(a.DPortsOn, int64(cfg.DL1.Ports)*n)
+
+	// Result bus drivers: per enabled bus.
+	b[CompResultBus] = m.ResultBusUnit * a.gatedSum(a.BusOn, int64(cfg.IssueWidth)*n)
+
+	b[CompDCGControl] = m.perCycle[CompDCGControl] * float64(a.ControlCycles)
+	return b
+}
 
 // AvgPower returns the mean per-cycle power over the accounted run.
 func (a *Accountant) AvgPower() float64 {
 	if a.Cycles == 0 {
 		return 0
 	}
-	return a.Energy.Total() / float64(a.Cycles)
+	b := a.Breakdown()
+	return b.Total() / float64(a.Cycles)
 }
 
 // Saving returns the fractional power saving relative to the no-gating
@@ -181,9 +249,10 @@ func (a *Accountant) Saving() float64 {
 // cycles. Groups let the per-figure experiments reproduce the paper's
 // per-structure plots (integer units = CompIntALU+CompIntMult, etc).
 func (a *Accountant) ComponentSaving(comps ...Component) float64 {
+	b := a.Breakdown()
 	var used, full float64
 	for _, c := range comps {
-		used += a.Energy[c]
+		used += b[c]
 		full += a.Model.perCycle[c] * float64(a.Cycles)
 	}
 	if full == 0 {
@@ -196,7 +265,8 @@ func (a *Accountant) ComponentSaving(comps ...Component) float64 {
 // total pipeline latch power (front + back), with the DCG control-latch
 // overhead charged against it.
 func (a *Accountant) LatchSaving() float64 {
-	used := a.Energy[CompLatchFront] + a.Energy[CompLatchBack] + a.Energy[CompDCGControl]
+	b := a.Breakdown()
+	used := b[CompLatchFront] + b[CompLatchBack] + b[CompDCGControl]
 	full := a.Model.LatchPower() * float64(a.Cycles)
 	if full == 0 {
 		return 0
@@ -207,7 +277,8 @@ func (a *Accountant) LatchSaving() float64 {
 // DCacheSaving returns the paper's Figure 15 quantity: the saving over
 // total D-cache power (decoders + rest).
 func (a *Accountant) DCacheSaving() float64 {
-	used := a.Energy[CompDCacheDecoder] + a.Energy[CompDCacheOther]
+	b := a.Breakdown()
+	used := b[CompDCacheDecoder] + b[CompDCacheOther]
 	full := a.Model.DCachePower() * float64(a.Cycles)
 	if full == 0 {
 		return 0
@@ -218,13 +289,14 @@ func (a *Accountant) DCacheSaving() float64 {
 // Validate checks energy-conservation invariants: every component's energy
 // is within [0, allOn] (property 4 in DESIGN.md).
 func (a *Accountant) Validate() error {
+	b := a.Breakdown()
 	for c := Component(0); c < NumComponents; c++ {
 		full := a.Model.perCycle[c] * float64(a.Cycles)
-		if a.Energy[c] < -1e-9 {
+		if b[c] < -1e-9 {
 			return fmt.Errorf("power: component %v has negative energy", c)
 		}
-		if a.Energy[c] > full*(1+1e-9)+1e-9 {
-			return fmt.Errorf("power: component %v energy %.1f exceeds all-on %.1f", c, a.Energy[c], full)
+		if b[c] > full*(1+1e-9)+1e-9 {
+			return fmt.Errorf("power: component %v energy %.1f exceeds all-on %.1f", c, b[c], full)
 		}
 	}
 	return nil

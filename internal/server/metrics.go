@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dcg/internal/core"
 	"dcg/internal/obs"
 	"dcg/internal/simrun"
 	"dcg/internal/usagetrace"
@@ -135,6 +136,18 @@ func (s *Server) newInstruments() *instruments {
 	reg.CounterFunc("dcg_replay_fused_schemes_total",
 		"Scheme lanes evaluated by fused multi-scheme replay passes.",
 		func() float64 { return float64(usagetrace.FusedSchemes()) })
+
+	// Packed-replay counters (process-wide, maintained by the core layer):
+	// how many scheme lanes the bit-packed columnar kernel served versus
+	// how many fell back to the scalar fused engine. packed ≫ fallbacks is
+	// the expected steady state; a rising fallback rate means evaluations
+	// are arriving with telemetry sinks or machine-mismatched schemes.
+	reg.CounterFunc("dcg_replay_packed_schemes_total",
+		"Scheme lanes evaluated by the bit-packed columnar replay kernel.",
+		func() float64 { return float64(core.PackedReplaySchemes()) })
+	reg.CounterFunc("dcg_replay_packed_fallbacks_total",
+		"Scheme lanes that fell back from the packed kernel to scalar replay.",
+		func() float64 { return float64(core.PackedReplayFallbacks()) })
 
 	reg.GaugeFunc("go_goroutines", "Number of goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })

@@ -147,6 +147,8 @@ func TestMetricsExposition(t *testing.T) {
 		"dcg_trace_decodes_total":               "counter",
 		"dcg_trace_decode_reuses_total":         "counter",
 		"dcg_replay_fused_schemes_total":        "counter",
+		"dcg_replay_packed_schemes_total":       "counter",
+		"dcg_replay_packed_fallbacks_total":     "counter",
 		"go_goroutines":                         "gauge",
 	}
 	for name, kind := range wantTypes {

@@ -195,6 +195,37 @@ func TestExecSharesOneDecodeAcrossNeutralSchemes(t *testing.T) {
 	}
 }
 
+// TestExecReplaysThroughPackedKernel pins the routing at the executor
+// level: follower evaluations of timing-neutral schemes ride the
+// bit-packed replay kernel, not the scalar fused engine.
+func TestExecReplaysThroughPackedKernel(t *testing.T) {
+	e := NewExec(0, 0)
+	base := Key{Bench: "art", Insts: 15_000, Warmup: 10_000}
+	kinds := []core.SchemeKind{core.SchemeNone, core.SchemeDCG, core.SchemeOracle}
+
+	packed0 := core.PackedReplaySchemes()
+	fallback0 := core.PackedReplayFallbacks()
+	fused0 := usagetrace.FusedSchemes()
+	for _, kind := range kinds {
+		k := base
+		k.Scheme = kind
+		if _, _, err := e.Do(context.Background(), k); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+	}
+	// The leader rides the capture run; each follower is one packed
+	// replay evaluation.
+	if got := core.PackedReplaySchemes() - packed0; got != uint64(len(kinds)-1) {
+		t.Errorf("packed replay served %d schemes, want %d (followers)", got, len(kinds)-1)
+	}
+	if got := core.PackedReplayFallbacks() - fallback0; got != 0 {
+		t.Errorf("packed replay recorded %d fallbacks, want 0", got)
+	}
+	if got := usagetrace.FusedSchemes() - fused0; got != 0 {
+		t.Errorf("%d schemes fell through to the scalar fused engine, want 0", got)
+	}
+}
+
 // TestExecReplayMatchesFullRun drives the production hooks end to end: a
 // replayed evaluation through the two-level executor must be bit-identical
 // to an independent full simulation of the same key.

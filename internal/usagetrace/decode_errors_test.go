@@ -132,6 +132,17 @@ func TestDecodeErrorPaths(t *testing.T) {
 			mutate:  func(b []byte) []byte { return append(b, 0xde, 0xad) },
 			wantErr: "trailing data after end marker",
 		},
+		{
+			name: "implausible latch stage count",
+			mutate: func(b []byte) []byte {
+				// Splice a stage count past the hardening limit over the
+				// single-byte uvarint(2) at the end of the header.
+				out := append([]byte{}, b[:headerLen-1]...)
+				out = binary.AppendUvarint(out, maxLatchStages+1)
+				return append(out, b[headerLen:]...)
+			},
+			wantErr: "implausible latch stage count",
+		},
 	}
 
 	for _, tc := range tests {
@@ -187,5 +198,104 @@ func TestDecodeTruncatedEventPayload(t *testing.T) {
 	_, err = ReadTrace(bytes.NewReader(full[:12]))
 	if err == nil || !strings.Contains(err.Error(), "truncated event at cycle 0") {
 		t.Fatalf("err = %v, want truncated-event error", err)
+	}
+
+	// The flags byte (offset 11) carries the FU type in its top nibble;
+	// setting the two reserved bits yields a type no machine has, which
+	// must be refused rather than indexed into the schedule rings.
+	corrupt := append([]byte{}, full...)
+	corrupt[11] |= 0xC0
+	_, err = ReadTrace(bytes.NewReader(corrupt))
+	if err == nil || !strings.Contains(err.Error(), "corrupt FU type") {
+		t.Fatalf("err = %v, want corrupt-FU-type error", err)
+	}
+}
+
+// TestDecodeColumnsErrorPaths table-drives the failures only the
+// columnar decode (Trace.Decode) can detect: header cycle counts that
+// disagree with the stream — including one absurd enough that an
+// unbounded preallocation would OOM before reading a byte — and the
+// issue-event offset-sentinel limit.
+func TestDecodeColumnsErrorPaths(t *testing.T) {
+	good := tinyCapture(t, 3)
+
+	// One cycle carrying two events, for the event-limit cases.
+	rec, err := NewRecorder("ev2", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		rec.OnIssue(cpu.IssueEvent{Cycle: 0, FUIdx: i, FUType: cpu.FUIntALU, FUStart: 2, FULat: 1})
+	}
+	u := cpu.Usage{Cycle: 0, IssueCount: 2, BackLatch: []int{2}}
+	rec.OnCycle(&u)
+	evTrace, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evBuf bytes.Buffer
+	if _, err := evTrace.WriteTo(&evBuf); err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name      string
+		trace     *Trace
+		eventsCap uint64 // 0 = leave maxDecodedEvents alone
+		wantErr   string
+	}{
+		{
+			name:    "header declares more cycles than stream",
+			trace:   &Trace{name: "tiny", stages: 2, cycles: 5, data: good},
+			wantErr: "decoded 3 cycles but trace header declares 5",
+		},
+		{
+			name:    "header declares fewer cycles than stream",
+			trace:   &Trace{name: "tiny", stages: 2, cycles: 2, data: good},
+			wantErr: "decoded 3 cycles but trace header declares 2",
+		},
+		{
+			name: "absurd header cycle count does not preallocate",
+			// 2^40 cycles would be a ~50TB make() without the prealloc
+			// cap; with it, the decode runs and fails on the mismatch.
+			trace:   &Trace{name: "tiny", stages: 2, cycles: 1 << 40, data: good},
+			wantErr: "decoded 3 cycles but trace header declares 1099511627776",
+		},
+		{
+			name:      "event count at offset-sentinel boundary",
+			trace:     &Trace{name: "ev2", stages: 1, cycles: 1, data: append([]byte{}, evBuf.Bytes()...)},
+			eventsCap: 2, // len(events)==2 makes the next evOff entry ambiguous
+			wantErr:   "trace has 2 issue events (limit 1)",
+		},
+		{
+			name:      "event count below the boundary decodes",
+			trace:     &Trace{name: "ev2", stages: 1, cycles: 1, data: append([]byte{}, evBuf.Bytes()...)},
+			eventsCap: 3,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.eventsCap != 0 {
+				old := maxDecodedEvents
+				maxDecodedEvents = tc.eventsCap
+				defer func() { maxDecodedEvents = old }()
+			}
+			d, err := tc.trace.Decode()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("decode failed: %v", err)
+				}
+				if d.Events() != 2 {
+					t.Fatalf("decoded %d events, want 2", d.Events())
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("decode succeeded, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want it to contain %q", err, tc.wantErr)
+			}
+		})
 	}
 }

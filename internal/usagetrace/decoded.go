@@ -35,7 +35,25 @@ type Decoded struct {
 	// events[evOff[c]:evOff[c+1]].
 	events []cpu.IssueEvent
 	evOff  []uint32
+
+	// packed is the bit-packed columnar view (one uint64 word per 64
+	// cycles per signal), built by the same decode pass. Never nil on a
+	// successfully decoded trace.
+	packed *Packed
 }
+
+// decodeColumns preallocation is bounded: the cycle hint comes from the
+// trace header, which is untrusted input, and an absurd value must not
+// translate into a multi-GB make() before a single record is read. Real
+// giants still decode — append growth takes over past the cap.
+const maxPreallocCycles = 1 << 22
+
+// maxDecodedEvents bounds the flattened issue-event stream. evOff entries
+// are uint32 offsets into it, so len(events) must stay strictly below
+// 2^32-1: at exactly ^uint32(0) the offset becomes ambiguous with the
+// maximum encodable value. A var (not const) so the decode-error tests
+// can lower it and exercise the boundary without a 4-billion-event trace.
+var maxDecodedEvents = uint64(^uint32(0))
 
 // Package-wide fused-replay accounting, exported for the service's
 // /metrics endpoint and the decode-count regression tests. Monotonic
@@ -72,10 +90,22 @@ func (d *Decoded) Events() int { return len(d.events) }
 
 // decodeColumns streams the encoded trace once and builds the columnar
 // form. cyclesHint (the trace's known cycle count) sizes the columns up
-// front so the build itself does not reallocate per cycle.
+// front so the build itself does not reallocate per cycle; the hint is
+// capped (maxPreallocCycles, in uint64 space so it cannot go negative
+// through a 32-bit int conversion) and then verified against the cycles
+// actually decoded, so a header that disagrees with the stream fails
+// loudly instead of yielding silently short columns.
 func decodeColumns(r *Reader, cyclesHint uint64) (*Decoded, error) {
-	n := int(cyclesHint)
+	hint := cyclesHint
+	if hint > maxPreallocCycles {
+		hint = maxPreallocCycles
+	}
+	n := int(hint)
 	stages := r.BackLatchStages()
+	latchHint := uint64(n) * uint64(stages)
+	if latchHint > maxPreallocCycles {
+		latchHint = maxPreallocCycles
+	}
 	d := &Decoded{
 		name:      r.Name(),
 		stages:    stages,
@@ -91,7 +121,7 @@ func decodeColumns(r *Reader, cyclesHint uint64) (*Decoded, error) {
 		commit:    make([]int32, 0, n),
 		fetchN:    make([]int32, 0, n),
 		occ:       make([]int32, 0, n),
-		backLatch: make([]int32, 0, n*stages),
+		backLatch: make([]int32, 0, latchHint),
 		evOff:     make([]uint32, 1, n+1),
 	}
 	for {
@@ -103,8 +133,9 @@ func decodeColumns(r *Reader, cyclesHint uint64) (*Decoded, error) {
 			return nil, err
 		}
 		d.events = append(d.events, events...)
-		if len(d.events) > int(^uint32(0)) {
-			return nil, fmt.Errorf("usagetrace: trace exceeds %d issue events", ^uint32(0))
+		if uint64(len(d.events)) >= maxDecodedEvents {
+			return nil, fmt.Errorf("usagetrace: trace has %d issue events (limit %d)",
+				len(d.events), maxDecodedEvents-1)
 		}
 		d.evOff = append(d.evOff, uint32(len(d.events)))
 		d.issue = append(d.issue, int32(u.IssueCount))
@@ -124,8 +155,17 @@ func decodeColumns(r *Reader, cyclesHint uint64) (*Decoded, error) {
 		}
 		d.cycles++
 	}
+	if d.cycles != cyclesHint {
+		return nil, fmt.Errorf("usagetrace: decoded %d cycles but trace header declares %d",
+			d.cycles, cyclesHint)
+	}
+	d.packed = buildPacked(d)
 	return d, nil
 }
+
+// Packed returns the bit-packed columnar view built alongside the scalar
+// columns. Immutable, like the Decoded that owns it.
+func (d *Decoded) Packed() *Packed { return d.packed }
 
 // fillUsage reconstructs cycle c's usage vector into the caller's
 // scratch. u.BackLatch must already have length stages.

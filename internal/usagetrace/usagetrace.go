@@ -100,6 +100,12 @@ const (
 	// tooling) decodes transparently.
 	gzipMagic0 = 0x1f
 	gzipMagic1 = 0x8b
+
+	// maxLatchStages bounds the header's back-end latch stage count. The
+	// value is untrusted input sized per cycle record and per reader
+	// buffer, and a machine has a few latch stages, not thousands — a
+	// larger count is corruption, refused before it sizes any allocation.
+	maxLatchStages = 4096
 )
 
 // Writer serialises a capture stream. It implements cpu.Observer and
@@ -342,6 +348,10 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("usagetrace: short header (latch stages): %w", err)
 	}
+	if stages > maxLatchStages {
+		return nil, fmt.Errorf("usagetrace: implausible latch stage count %d (limit %d)",
+			stages, maxLatchStages)
+	}
 	rd := &Reader{r: br, name: string(name), stages: int(stages)}
 	rd.u.BackLatch = make([]int, stages)
 	return rd, nil
@@ -449,6 +459,9 @@ func (r *Reader) readEvent() (cpu.IssueEvent, error) {
 	}
 	if flags&flagHasFU != 0 {
 		ev.FUType = cpu.FUType(flags >> fuTypeShift)
+		if ev.FUType >= cpu.NumFUTypes {
+			return ev, fmt.Errorf("corrupt FU type %d", ev.FUType)
+		}
 		idx, err := binary.ReadUvarint(r.r)
 		if err != nil {
 			return ev, err
