@@ -2,7 +2,8 @@
 #
 #   make check   - what CI runs: lint + full test suite under the race
 #                  detector (includes the server/simrun concurrency tests)
-#   make lint    - go vet + gofmt -l (fails on unformatted files)
+#   make lint    - go vet + gofmt -l (fails on unformatted files) +
+#                  schemedoc -check (docs scheme tables match the registry)
 #   make test    - fast suite, no race detector
 #   make bench   - the per-figure and substrate micro-benchmarks
 #   make bench-json - the same benchmarks as machine-readable JSON
@@ -13,11 +14,14 @@
 
 GO ?= go
 
-.PHONY: check lint vet fmt-check test race bench bench-json build serve sweep-smoke
+.PHONY: check lint vet fmt-check schemedoc-check test race bench bench-json build serve sweep-smoke
 
 check: lint race
 
-lint: vet fmt-check
+lint: vet fmt-check schemedoc-check
+
+schemedoc-check:
+	$(GO) run ./cmd/schemedoc -check
 
 fmt-check:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \

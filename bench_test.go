@@ -22,6 +22,7 @@ import (
 	"dcg/internal/experiments"
 	"dcg/internal/mem"
 	"dcg/internal/trace"
+	"dcg/internal/usagetrace"
 	"dcg/internal/workload"
 )
 
@@ -411,5 +412,70 @@ func BenchmarkReplayPackedN(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(100*results[1].Saving, "dcg-save%")
+	}
+}
+
+// ---- Channelized traces (format v2) ----
+
+// BenchmarkCaptureTimingChannels is BenchmarkCaptureTiming with the
+// latchvalue channel recorded alongside usage — the capture a sweep
+// runs when its scheme set includes the value-dependent family. The
+// reported trace-B shows the channel's size cost over the usage-only
+// capture.
+func BenchmarkCaptureTimingChannels(b *testing.B) {
+	sim := core.NewSimulator(core.DefaultMachine())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm, err := sim.CaptureBenchmark("swim", benchInsts, usagetrace.ChannelLatchValue)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(tm.Trace.SizeBytes()), "trace-B")
+	}
+}
+
+// BenchmarkReplayPackedNChannelized runs the packed kernel's scheme set
+// over a trace that also carries the latchvalue channel: the extra
+// channel must not tax the packed path (it is decoded once and ignored
+// by the bit-plane kernels), so per-op time should match
+// BenchmarkReplayPackedN.
+func BenchmarkReplayPackedNChannelized(b *testing.B) {
+	sim := core.NewSimulator(core.DefaultMachine())
+	tm, err := sim.CaptureBenchmark("swim", benchInsts, usagetrace.ChannelLatchValue)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := sim.EvaluateTimingPacked(tm, replayKinds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*results[1].Saving, "dcg-save%")
+	}
+}
+
+// valueKinds is the value-dependent family: both replay `scalar` (the
+// per-lane comparator state needs the per-cycle stream), so this set
+// exercises the fused scalar engine even with packed replay enabled.
+var valueKinds = []core.SchemeKind{core.SchemeDDCG, core.SchemeDCGDDCG}
+
+// BenchmarkReplayScalarDDCG measures the value-dependent replay path:
+// the ddcg family evaluated in one fused pass over a latchvalue-carrying
+// capture. This is the cost model for the `families` comparison's second
+// timing group.
+func BenchmarkReplayScalarDDCG(b *testing.B) {
+	sim := core.NewSimulator(core.DefaultMachine())
+	tm, err := sim.CaptureBenchmark("swim", benchInsts, usagetrace.ChannelLatchValue)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := sim.EvaluateTimingAll(tm, valueKinds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*results[0].Saving, "ddcg-save%")
 	}
 }

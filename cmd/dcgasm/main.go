@@ -88,10 +88,6 @@ func main() {
 }
 
 func parseScheme(s string) (core.SchemeKind, bool) {
-	for _, k := range core.AllSchemes() {
-		if k.String() == s {
-			return k, true
-		}
-	}
-	return 0, false
+	k, err := core.ParseScheme(s)
+	return k, err == nil
 }

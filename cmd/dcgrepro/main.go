@@ -23,7 +23,7 @@ import (
 func main() {
 	var (
 		n     = flag.Uint64("n", 300_000, "measured instructions per benchmark")
-		fig   = flag.String("fig", "all", "which experiment: all, table1, 4.4, 10..17, util, perf, ablations, seeds")
+		fig   = flag.String("fig", "all", "which experiment: all, table1, 4.4, 10..17, families, util, perf, ablations, seeds")
 		seeds = flag.Int("seeds", 3, "seed variants for -fig seeds")
 		csvD  = flag.String("csv", "", "also write each comparison as CSV into this directory")
 		bars  = flag.Bool("bars", false, "also render each comparison as an ASCII bar chart")
@@ -82,6 +82,7 @@ func main() {
 		{"15", comparison(r.Fig15, show)},
 		{"16", comparison(r.Fig16, show)},
 		{"17", comparison(r.Fig17, show)},
+		{"families", comparison(r.GatingFamilies, show)},
 		{"seeds", func() error {
 			rep, err := r.SeedSensitivity(*seeds)
 			if err != nil {

@@ -1,8 +1,10 @@
 // Command dcgsim runs one benchmark (or the full suite) under one or more
 // clock-gating schemes and prints performance, utilisation, and power
-// statistics. When several timing-neutral schemes (none, dcg, oracle) are
-// requested together, the benchmark's core timing is simulated once and
-// each scheme is evaluated by replaying the captured usage trace.
+// statistics. When several timing-neutral schemes (e.g. none, dcg,
+// oracle) are requested together, the benchmark's core timing is
+// simulated once and each scheme is evaluated by replaying the captured
+// usage trace; -scheme accepts any name in the scheme registry (the
+// -help text enumerates them).
 //
 // Usage:
 //
@@ -30,7 +32,7 @@ import (
 func main() {
 	var (
 		bench   = flag.String("bench", "all", "benchmark name, or 'all', 'int', 'fp'")
-		scheme  = flag.String("scheme", "dcg", "gating scheme(s), comma-separated: none, dcg, plb-orig, plb-ext, oracle")
+		scheme  = flag.String("scheme", "dcg", "gating scheme(s), comma-separated: "+schemeNames())
 		n       = flag.Uint64("n", 200_000, "dynamic instructions to simulate per benchmark")
 		deep    = flag.Bool("deep", false, "use the 20-stage deep pipeline (section 5.6)")
 		verbose = flag.Bool("v", false, "print the per-component energy breakdown")
@@ -184,6 +186,17 @@ func main() {
 // the captured usage trace (core.EvaluateTimingAll) — one trace decode,
 // one scan, bit-identical to direct runs. Schemes that perturb timing
 // (PLB) always run the full simulation.
+// schemeNames enumerates the registered schemes for the -scheme flag's
+// help text, so the usage output can never drift from the registry.
+func schemeNames() string {
+	kinds := core.AllSchemes()
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = string(k)
+	}
+	return strings.Join(names, ", ")
+}
+
 func runSchemes(sim *core.Simulator, bench string, kinds []core.SchemeKind, n uint64) ([]*core.Result, error) {
 	var neutralKinds []core.SchemeKind
 	for _, k := range kinds {
@@ -193,7 +206,9 @@ func runSchemes(sim *core.Simulator, bench string, kinds []core.SchemeKind, n ui
 	}
 	out := make([]*core.Result, len(kinds))
 	if len(neutralKinds) >= 2 {
-		tm, err := sim.CaptureBenchmark(bench, n)
+		// The capture records the union of the trace channels the
+		// requested schemes need (e.g. latchvalue for the ddcg family).
+		tm, err := sim.CaptureBenchmark(bench, n, core.ChannelUnion(neutralKinds...)...)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,97 @@
+// schemedoc renders the scheme registry's canonical markdown table into
+// the documents that embed it (between scheme-table markers), so the
+// docs can never drift from the registry: registering a scheme without
+// rerunning this tool fails `make lint`.
+//
+// Usage:
+//
+//	go run ./cmd/schemedoc            # rewrite the embedded tables in place
+//	go run ./cmd/schemedoc -check     # exit 1 if any embedded table is stale
+//	go run ./cmd/schemedoc FILE...    # operate on specific files
+//
+// Each target file must contain the marker pair
+//
+//	<!-- scheme-table:begin -->
+//	<!-- scheme-table:end -->
+//
+// and everything between the markers is replaced by
+// core.SchemeTableMarkdown().
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+
+	"dcg/internal/core"
+)
+
+const (
+	beginMarker = "<!-- scheme-table:begin -->"
+	endMarker   = "<!-- scheme-table:end -->"
+)
+
+var defaultFiles = []string{"README.md", "docs/SERVICE.md"}
+
+func main() {
+	check := flag.Bool("check", false, "verify the embedded tables match the registry; write nothing")
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		files = defaultFiles
+	}
+
+	table := core.SchemeTableMarkdown()
+	stale := 0
+	for _, path := range files {
+		doc, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("schemedoc: %v", err)
+		}
+		want, err := render(doc, table)
+		if err != nil {
+			fatalf("schemedoc: %s: %v", path, err)
+		}
+		if bytes.Equal(doc, want) {
+			continue
+		}
+		if *check {
+			fmt.Fprintf(os.Stderr, "schemedoc: %s: embedded scheme table is stale (run: go run ./cmd/schemedoc)\n", path)
+			stale++
+			continue
+		}
+		if err := os.WriteFile(path, want, 0o644); err != nil {
+			fatalf("schemedoc: %v", err)
+		}
+		fmt.Printf("schemedoc: rewrote %s\n", path)
+	}
+	if stale > 0 {
+		os.Exit(1)
+	}
+}
+
+// render replaces the region between the markers with the table. The
+// markers themselves are preserved, each on its own line.
+func render(doc []byte, table string) ([]byte, error) {
+	begin := bytes.Index(doc, []byte(beginMarker))
+	if begin < 0 {
+		return nil, fmt.Errorf("missing %q marker", beginMarker)
+	}
+	end := bytes.Index(doc, []byte(endMarker))
+	if end < begin {
+		return nil, fmt.Errorf("missing or misplaced %q marker", endMarker)
+	}
+	var b bytes.Buffer
+	b.Write(doc[:begin+len(beginMarker)])
+	b.WriteString("\n")
+	b.WriteString(table)
+	b.Write(doc[end:])
+	return b.Bytes(), nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dcg/internal/core"
+)
+
+func TestRenderReplacesBetweenMarkers(t *testing.T) {
+	doc := []byte("intro\n" + beginMarker + "\nstale table\n" + endMarker + "\noutro\n")
+	got, err := render(doc, "fresh table\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "intro\n" + beginMarker + "\nfresh table\n" + endMarker + "\noutro\n"
+	if string(got) != want {
+		t.Errorf("render:\n%s\nwant:\n%s", got, want)
+	}
+	// Idempotent: rendering the rendered doc changes nothing.
+	again, err := render(got, "fresh table\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(got) {
+		t.Error("render is not idempotent")
+	}
+}
+
+func TestRenderRejectsMissingMarkers(t *testing.T) {
+	for _, doc := range []string{
+		"no markers at all\n",
+		beginMarker + "\nno end\n",
+		endMarker + "\nend before begin\n" + beginMarker + "\n",
+	} {
+		if _, err := render([]byte(doc), "t\n"); err == nil {
+			t.Errorf("render accepted malformed doc %q", doc)
+		}
+	}
+}
+
+// TestTableCoversRegistry is the docs-completeness contract behind
+// `make lint`: the rendered table names every registered scheme, so a
+// scheme registered without a docs refresh fails schemedoc -check.
+func TestTableCoversRegistry(t *testing.T) {
+	table := core.SchemeTableMarkdown()
+	for _, kind := range core.AllSchemes() {
+		cell := fmt.Sprintf("| `%s` |", kind)
+		if !strings.Contains(table, cell) {
+			t.Errorf("scheme table missing row for %q", kind)
+		}
+	}
+}

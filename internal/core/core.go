@@ -28,62 +28,6 @@ import (
 	"dcg/internal/workload"
 )
 
-// SchemeKind selects the clock-gating methodology for a run.
-type SchemeKind int
-
-// The four schemes of the paper's evaluation, plus the Oracle headroom
-// study of sections 2.2/5.7 (DCG extended with issue-queue and front-end
-// latch gating under oracle knowledge — an upper bound, not a design).
-const (
-	SchemeNone SchemeKind = iota
-	SchemeDCG
-	SchemePLBOrig
-	SchemePLBExt
-	SchemeOracle
-)
-
-var schemeNames = [...]string{"none", "dcg", "plb-orig", "plb-ext", "oracle"}
-
-// String returns the scheme name.
-func (k SchemeKind) String() string {
-	if int(k) < len(schemeNames) {
-		return schemeNames[k]
-	}
-	return fmt.Sprintf("scheme(%d)", int(k))
-}
-
-// AllSchemes lists every scheme, baseline first.
-func AllSchemes() []SchemeKind {
-	return []SchemeKind{SchemeNone, SchemeDCG, SchemePLBOrig, SchemePLBExt, SchemeOracle}
-}
-
-// ParseScheme resolves a scheme name ("none", "dcg", "plb-orig",
-// "plb-ext", "oracle") to its SchemeKind.
-func ParseScheme(s string) (SchemeKind, error) {
-	for _, k := range AllSchemes() {
-		if k.String() == s {
-			return k, nil
-		}
-	}
-	return 0, fmt.Errorf("core: unknown scheme %q (want none|dcg|plb-orig|plb-ext|oracle)", s)
-}
-
-// TimingNeutral reports whether the scheme cannot change the core's
-// timing: its gating decisions are derived from the issue stage's GRANT
-// signals (or are pure observation) and it never throttles the pipeline,
-// so baseline, DCG, and Oracle runs produce bit-identical cycle-by-cycle
-// execution. Timing-neutral schemes can be evaluated by replaying a
-// captured usage trace (EvaluateTiming); PLB throttles the issue width
-// from its own IPC feedback, changes timing, and must be fully simulated.
-func TimingNeutral(kind SchemeKind) bool {
-	switch kind {
-	case SchemeNone, SchemeDCG, SchemeOracle:
-		return true
-	default:
-		return false
-	}
-}
-
 // DefaultMachine returns the Table 1 processor configuration.
 func DefaultMachine() config.Config { return config.Default() }
 
@@ -292,22 +236,15 @@ func NewSimulator(machine config.Config) *Simulator {
 // Machine returns the simulator's machine configuration.
 func (s *Simulator) Machine() config.Config { return s.machine }
 
-// makeScheme instantiates a gating scheme for this machine.
+// makeScheme instantiates a gating scheme for this machine from its
+// registry entry.
 func (s *Simulator) makeScheme(kind SchemeKind) (gating.Scheme, error) {
-	switch kind {
-	case SchemeNone:
-		return gating.NewNone(s.machine), nil
-	case SchemeDCG:
-		return gating.NewDCG(s.machine), nil
-	case SchemePLBOrig:
-		return gating.NewPLB(s.machine, s.PLBParams, false), nil
-	case SchemePLBExt:
-		return gating.NewPLB(s.machine, s.PLBParams, true), nil
-	case SchemeOracle:
-		return gating.NewOracle(s.machine), nil
-	default:
-		return nil, fmt.Errorf("core: unknown scheme %v", kind)
+	info, ok := SchemeInfoFor(kind)
+	if !ok {
+		_, err := ParseScheme(string(kind))
+		return nil, err
 	}
+	return info.New(s), nil
 }
 
 // RunBenchmark simulates maxInsts dynamic instructions of the named
@@ -420,7 +357,7 @@ func (t *Timing) Cycles() uint64 { return t.CPUStats.Cycles }
 // under the scheme: the original single-pass path, with timing and power
 // evaluated together.
 func (s *Simulator) run(ctx context.Context, warmSrc, src trace.Source, scheme gating.Scheme) (*Result, error) {
-	res, _, err := s.runCapture(ctx, warmSrc, src, scheme, false)
+	res, _, err := s.runCapture(ctx, warmSrc, src, scheme, false, nil)
 	return res, err
 }
 
@@ -428,8 +365,10 @@ func (s *Simulator) run(ctx context.Context, warmSrc, src trace.Source, scheme g
 // records the usage trace through the cpu fan-out (the accountant and the
 // trace writer both observe the core's reused Usage buffer; the scheme
 // and the writer both hear every GRANT event), returning the scheme's
-// Result and the reusable Timing from one pass.
-func (s *Simulator) runCapture(ctx context.Context, warmSrc, src trace.Source, scheme gating.Scheme, capture bool) (*Result, *Timing, error) {
+// Result and the reusable Timing from one pass. channels names the extra
+// trace channels to record beyond the implicit usage channel (a capture
+// pass records only what some requested scheme needs).
+func (s *Simulator) runCapture(ctx context.Context, warmSrc, src trace.Source, scheme gating.Scheme, capture bool, channels []string) (*Result, *Timing, error) {
 	start := time.Now()
 	machine := s.machine
 	c, err := cpu.New(machine, src)
@@ -455,7 +394,7 @@ func (s *Simulator) runCapture(ctx context.Context, warmSrc, src trace.Source, s
 	var observers cpu.MultiObserver
 	var rec *usagetrace.Recorder
 	if capture {
-		rec, err = usagetrace.NewRecorder(src.Name(), machine.BackEndLatchStages())
+		rec, err = usagetrace.NewRecorder(src.Name(), machine.BackEndLatchStages(), channels...)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -552,16 +491,44 @@ func resultFor(t *Timing, scheme gating.Scheme, model *power.Model, acct *power.
 	if o, ok := scheme.(*gating.Oracle); ok {
 		res.LeadViolations = o.LeadViolations()
 	}
+	if h, ok := scheme.(*gating.DCGDDCG); ok {
+		res.LeadViolations = h.LeadViolations()
+	}
+	if h, ok := scheme.(*gating.DCGPLB); ok {
+		res.LeadViolations = h.LeadViolations()
+		res.PLBModeCycles = h.ModeCycles()
+	}
 	res.GateViolations = acct.GateViolations
 	return res
+}
+
+// checkTraceChannels verifies the captured trace carries every channel
+// the scheme's registry entry requires. A scheme whose name is not
+// registered (partial-DCG ablations, custom controllers) is assumed
+// usage-only; value-dependent schemes replayed over a channel-less trace
+// would silently degrade, so the mismatch fails loudly here.
+func checkTraceChannels(t *Timing, scheme gating.Scheme) error {
+	info, ok := SchemeInfoFor(SchemeKind(gating.UnwrapScheme(scheme).Name()))
+	if !ok {
+		return nil
+	}
+	for _, ch := range info.Channels {
+		if !t.Trace.HasChannel(ch) {
+			return fmt.Errorf("core: scheme %s requires trace channel %q but the capture carries %v",
+				info.Kind, ch, t.Trace.Channels())
+		}
+	}
+	return nil
 }
 
 // RunAndCapture runs one benchmark simulation under a timing-neutral
 // scheme, returning both the scheme's Result and the captured Timing: the
 // timing pass and the first scheme evaluation cost a single core
 // simulation, and every further timing-neutral scheme is an EvaluateTiming
-// replay over the returned Timing.
-func (s *Simulator) RunAndCapture(ctx context.Context, name string, kind SchemeKind, maxInsts uint64) (*Result, *Timing, error) {
+// replay over the returned Timing. The trace records the channels the
+// scheme's registry entry requires; extra names additional channels to
+// record so the Timing can also serve schemes with richer channel needs.
+func (s *Simulator) RunAndCapture(ctx context.Context, name string, kind SchemeKind, maxInsts uint64, extra ...string) (*Result, *Timing, error) {
 	if !TimingNeutral(kind) {
 		return nil, nil, fmt.Errorf("core: scheme %v changes timing; capture requires a timing-neutral scheme", kind)
 	}
@@ -573,18 +540,33 @@ func (s *Simulator) RunAndCapture(ctx context.Context, name string, kind SchemeK
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.runCapture(ctx, warm, src, scheme, true)
+	channels := SchemeChannels(kind)
+	for _, ch := range extra {
+		dup := false
+		for _, have := range channels {
+			if have == ch {
+				dup = true
+			}
+		}
+		if !dup {
+			channels = append(channels, ch)
+		}
+	}
+	return s.runCapture(ctx, warm, src, scheme, true, channels)
 }
 
 // CaptureBenchmark runs the timing pass alone (under the no-gating
-// baseline) and returns the Timing for later evaluation passes.
-func (s *Simulator) CaptureBenchmark(name string, maxInsts uint64) (*Timing, error) {
-	return s.CaptureBenchmarkContext(context.Background(), name, maxInsts)
+// baseline) and returns the Timing for later evaluation passes. extra
+// names trace channels to record beyond the usage channel, so the Timing
+// can serve channel-requiring schemes (usagetrace.ChannelLatchValue for
+// the ddcg family).
+func (s *Simulator) CaptureBenchmark(name string, maxInsts uint64, extra ...string) (*Timing, error) {
+	return s.CaptureBenchmarkContext(context.Background(), name, maxInsts, extra...)
 }
 
 // CaptureBenchmarkContext is CaptureBenchmark with cancellation.
-func (s *Simulator) CaptureBenchmarkContext(ctx context.Context, name string, maxInsts uint64) (*Timing, error) {
-	_, tm, err := s.RunAndCapture(ctx, name, SchemeNone, maxInsts)
+func (s *Simulator) CaptureBenchmarkContext(ctx context.Context, name string, maxInsts uint64, extra ...string) (*Timing, error) {
+	_, tm, err := s.RunAndCapture(ctx, name, SchemeNone, maxInsts, extra...)
 	return tm, err
 }
 
@@ -613,6 +595,9 @@ func (s *Simulator) EvaluateTiming(t *Timing, kind SchemeKind) (*Result, error) 
 func (s *Simulator) EvaluateTimingScheme(t *Timing, scheme gating.Scheme) (*Result, error) {
 	if t == nil || t.Trace == nil {
 		return nil, fmt.Errorf("core: evaluation requires a captured timing trace")
+	}
+	if err := checkTraceChannels(t, scheme); err != nil {
+		return nil, err
 	}
 	model, err := power.NewModel(t.Machine)
 	if err != nil {

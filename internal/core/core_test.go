@@ -231,7 +231,7 @@ func TestUnknownBenchmarkAndScheme(t *testing.T) {
 	if _, err := sim.RunBenchmark("nosuch", SchemeDCG, 1000); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if _, err := sim.RunBenchmark("gzip", SchemeKind(99), 1000); err == nil {
+	if _, err := sim.RunBenchmark("gzip", SchemeKind("nosuch"), 1000); err == nil {
 		t.Error("unknown scheme accepted")
 	}
 }
@@ -264,7 +264,7 @@ func TestSchemeKindStrings(t *testing.T) {
 	}
 	for k, s := range want {
 		if k.String() != s {
-			t.Errorf("%d -> %q, want %q", k, k.String(), s)
+			t.Errorf("%v -> %q, want %q", k, k.String(), s)
 		}
 	}
 }

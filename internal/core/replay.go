@@ -69,6 +69,11 @@ func (s *Simulator) EvaluateTimingSchemes(t *Timing, schemes []gating.Scheme) ([
 	if len(schemes) == 0 {
 		return nil, nil
 	}
+	for _, scheme := range schemes {
+		if err := checkTraceChannels(t, scheme); err != nil {
+			return nil, err
+		}
+	}
 	if s.Telemetry != nil {
 		results := make([]*Result, len(schemes))
 		for i, scheme := range schemes {

@@ -177,6 +177,15 @@ type Core struct {
 	busSched   [horizon]int
 	issueHist  [horizon]int // issue counts, for latch-flow delays
 
+	// Value-change tracking for the latchvalue channel: each issue /
+	// dispatch lane remembers the last architectural value it carried, and
+	// the per-cycle count of lanes whose value changed flows down the
+	// back-end stages exactly like the issue one-hot (issueNewValHist
+	// mirrors issueHist).
+	issueLaneVal    []uint64
+	dispLaneVal     []uint64
+	issueNewValHist [horizon]int
+
 	// Per-cycle feedback for the throttle.
 	lastFeedback CycleFeedback
 
@@ -241,6 +250,9 @@ func New(cfg config.Config, src trace.Source) (*Core, error) {
 		c.fpProd[i] = -1
 	}
 	c.usage.BackLatch = make([]int, cfg.BackEndLatchStages())
+	c.usage.BackLatchNewVal = make([]int, cfg.BackEndLatchStages())
+	c.issueLaneVal = make([]uint64, cfg.IssueWidth)
+	c.dispLaneVal = make([]uint64, cfg.IssueWidth)
 	c.stats.LatchStages = cfg.BackEndLatchStages()
 	for 1<<c.fetchLineShift < cfg.IL1.LineBytes {
 		c.fetchLineShift++
@@ -350,8 +362,8 @@ func (c *Core) step() {
 		c.stats.RobEmpty++
 	}
 	committed := c.commit(cyc)
-	issued, fpIssued, memIssued := c.issue(cyc, limits)
-	renamed := c.dispatch(cyc)
+	issued, fpIssued, memIssued, issueNewVal := c.issue(cyc, limits)
+	renamed, dispNewVal := c.dispatch(cyc)
 	fetchedBefore := c.stats.Fetched
 	c.fetch(cyc)
 	fetchedNow := int(c.stats.Fetched - fetchedBefore)
@@ -379,11 +391,14 @@ func (c *Core) step() {
 	// instructions; stage s >= 1 carries the issue one-hot delayed s
 	// cycles.
 	u.BackLatch[0] = renamed
+	u.BackLatchNewVal[0] = dispNewVal
 	for s := 1; s < len(u.BackLatch); s++ {
 		if cyc >= uint64(s) {
 			u.BackLatch[s] = c.issueHist[(cyc-uint64(s))&(horizon-1)]
+			u.BackLatchNewVal[s] = c.issueNewValHist[(cyc-uint64(s))&(horizon-1)]
 		} else {
 			u.BackLatch[s] = 0
+			u.BackLatchNewVal[s] = 0
 		}
 	}
 
@@ -406,6 +421,7 @@ func (c *Core) step() {
 	c.dportSched[cyc&(horizon-1)] = 0
 	c.busSched[cyc&(horizon-1)] = 0
 	c.issueHist[cyc&(horizon-1)] = issued
+	c.issueNewValHist[cyc&(horizon-1)] = issueNewVal
 	for t := range c.pools {
 		c.pools[t].retire(cyc)
 	}
@@ -464,7 +480,7 @@ func (c *Core) operandReady(idx int32, seq uint64, execStart uint64) bool {
 // issue width, execution unit availability (sequential priority), and
 // D-cache port budget. Selected instructions begin execution at cyc+2
 // (Figure 6: select at X, register read at X+1, execute at X+2).
-func (c *Core) issue(cyc uint64, limits Limits) (issued, fpIssued, memIssued int) {
+func (c *Core) issue(cyc uint64, limits Limits) (issued, fpIssued, memIssued, newVal int) {
 	width := limits.IssueWidth
 	if width > c.cfg.IssueWidth {
 		width = c.cfg.IssueWidth
@@ -548,6 +564,15 @@ func (c *Core) issue(cyc uint64, limits Limits) (issued, fpIssued, memIssued int
 			ev.ResultBusCycle = busCycle
 		}
 
+		// Value-change tracking: issue lane `issued` (position in this
+		// cycle's group) compares the instruction's architectural value
+		// against the value the lane's latches last carried. Unchanged
+		// values need no clock edge downstream.
+		if c.issueLaneVal[issued] != e.dyn.Value {
+			c.issueLaneVal[issued] = e.dyn.Value
+			newVal++
+		}
+
 		e.state = stIssued
 		issued++
 		c.stats.Issued++
@@ -570,7 +595,7 @@ func (c *Core) issue(cyc uint64, limits Limits) (issued, fpIssued, memIssued int
 			c.issueLis.OnIssue(ev)
 		}
 	}
-	return issued, fpIssued, memIssued
+	return issued, fpIssued, memIssued, newVal
 }
 
 // enabledOf returns the enabled unit count for a pool.
@@ -589,8 +614,7 @@ func (l Limits) enabledOf(t FUType) int {
 
 // dispatch moves instructions from the front-end pipe into the window
 // (register rename + window allocation), up to the machine width.
-func (c *Core) dispatch(cyc uint64) int {
-	n := 0
+func (c *Core) dispatch(cyc uint64) (n, newVal int) {
 	for n < c.cfg.IssueWidth && c.frontLen > 0 {
 		fe := &c.front[c.frontHead]
 		if fe.eligible > cyc {
@@ -630,6 +654,11 @@ func (c *Core) dispatch(cyc uint64) int {
 		if isMem {
 			c.lsqCount++
 		}
+		// Rename-latch value tracking for lane n (see issue()).
+		if c.dispLaneVal[n] != fe.dyn.Value {
+			c.dispLaneVal[n] = fe.dyn.Value
+			newVal++
+		}
 		c.frontHead++
 		if c.frontHead == c.frontCap {
 			c.frontHead = 0
@@ -637,7 +666,7 @@ func (c *Core) dispatch(cyc uint64) int {
 		c.frontLen--
 		n++
 	}
-	return n
+	return n, newVal
 }
 
 func (c *Core) lookupProducer(r isa.Reg) (int32, uint64) {

@@ -36,6 +36,14 @@ type Usage struct {
 	// encoding delayed s cycles.
 	BackLatch []int
 
+	// BackLatchNewVal[s] is the number of BackLatch[s] slots whose
+	// architectural value differs from the value the same latch slot held
+	// on its previous use — the slots a data-dependent (value-comparing)
+	// gating scheme must clock. Always BackLatchNewVal[s] <= BackLatch[s];
+	// slots carrying a repeated value need no clock edge. Captured in the
+	// optional "latchvalue" trace channel.
+	BackLatchNewVal []int
+
 	// ResultBus is the number of result buses driven this cycle.
 	ResultBus int
 

@@ -242,6 +242,23 @@ func (m *Machine) Next() (trace.DynInst, bool) {
 			nextPC = d.Target
 		}
 	}
+	// Capture the architectural value the instruction carries down the
+	// pipeline (trace.DynInst.Value): the computed result for register
+	// writers, the store address for stores, the resolved target for
+	// control transfers. Read after the control resolution so branch
+	// targets are final.
+	switch in.Op {
+	case isa.OpNop, isa.OpHalt:
+	case isa.OpSt, isa.OpStF:
+		d.Value = d.EA
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpJmp, isa.OpRet:
+		d.Value = d.Target
+	case isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFDiv, isa.OpFNeg,
+		isa.OpFAbs, isa.OpFCmpLt, isa.OpFCmpEq, isa.OpCvtIF, isa.OpLdF:
+		d.Value = math.Float64bits(m.FPRegs[in.Dst.Index()])
+	default:
+		d.Value = uint64(m.rdInt(in.Dst))
+	}
 	m.PC = nextPC
 	return d, true
 }

@@ -231,6 +231,37 @@ func (r *Runner) Fig10() (*Comparison, error) {
 	}, nil
 }
 
+// familySchemes is the gating-family extension study's scheme set: the
+// paper's DCG against the value-dependent schemes (ddcg compares latch
+// inputs to outputs, arXiv:1806.02271), stage-level coarse gating
+// (lector, arXiv:1805.07409), and the hybrids that combine DCG's
+// schedule-driven gating with each.
+var familySchemes = []core.SchemeKind{
+	core.SchemeDCG, core.SchemeDDCG, core.SchemeDCGDDCG,
+	core.SchemeLector, core.SchemeDCGPLB,
+}
+
+// GatingFamilies is the Figure 10-style comparison across the extended
+// scheme registry: total power savings of DCG, the value-dependent
+// schemes, and the hybrids versus the no-gating baseline. The
+// value-dependent schemes ride the same capture-once DAG — their traces
+// carry the latchvalue channel, so they form their own capture groups.
+func (r *Runner) GatingFamilies() (*Comparison, error) {
+	series, err := r.compareSchemes(familySchemes, func(res, _ *core.Result) float64 {
+		return res.Saving
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		ID: "Gating families", Title: "Total power savings across gating families",
+		Metric: "total power saving (%)", Benches: r.opts.Benchmarks, Series: series,
+		PaperNote: "extensions beyond the paper: ddcg gates latches on value change " +
+			"(arXiv:1806.02271), lector gates whole stages with per-gate overhead " +
+			"(arXiv:1805.07409), dcg+ddcg and dcg+plb intersect controllers",
+	}, nil
+}
+
 // Fig11 reproduces Figure 11: power-delay savings. Power-delay is average
 // power times execution time; the baseline's delay comes from the ungated
 // run, so PLB's performance loss shows up as reduced power-delay saving.

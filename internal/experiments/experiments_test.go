@@ -153,6 +153,42 @@ func TestFig13FPUnitsOnIntegerCode(t *testing.T) {
 	}
 }
 
+// TestGatingFamiliesShape drives the extended-scheme comparison: every
+// family produces a series, the value-tightened hybrid never loses to
+// plain DCG (its latch slots are cycle-wise a subset), and the capture
+// DAG splits into exactly two timing groups per benchmark — usage-only
+// and latchvalue-carrying — with the PLB hybrid fully simulated.
+func TestGatingFamiliesShape(t *testing.T) {
+	benches := []string{"gzip", "swim"}
+	r := NewRunner(Options{Insts: 30_000, Warmup: 20_000, Benchmarks: benches})
+	c, err := r.GatingFamilies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Series) != len(familySchemes) {
+		t.Fatalf("series count = %d, want %d", len(c.Series), len(familySchemes))
+	}
+	byScheme := map[string]SchemeSeries{}
+	for _, s := range c.Series {
+		byScheme[s.Scheme] = s
+	}
+	for _, b := range benches {
+		if v := byScheme["ddcg"].Values[b]; v <= 0 {
+			t.Errorf("%s: ddcg saving %.4f, want positive", b, v)
+		}
+		if d, h := byScheme["dcg"].Values[b], byScheme["dcg+ddcg"].Values[b]; h < d {
+			t.Errorf("%s: dcg+ddcg saving %.4f below plain dcg %.4f", b, h, d)
+		}
+	}
+	// Two timing captures per benchmark: the usage-only group (none, dcg,
+	// lector) and the latchvalue group (ddcg, dcg+ddcg). dcg+plb cannot
+	// replay, so it adds no timing work.
+	if st := r.TimingStats(); st.Misses != uint64(2*len(benches)) {
+		t.Errorf("families ran %d timing simulations for %d benchmarks, want 2 each",
+			st.Misses, len(benches))
+	}
+}
+
 func TestFig17DeepPipeline(t *testing.T) {
 	r := fastRunner()
 	c, err := r.Fig17()
@@ -261,11 +297,11 @@ func TestPrefetchSurfacesErrors(t *testing.T) {
 
 func TestRunnerMemoisation(t *testing.T) {
 	r := fastRunner()
-	a, err := r.result("gzip", 1, false, 0)
+	a, err := r.result("gzip", core.SchemeDCG, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.result("gzip", 1, false, 0)
+	b, err := r.result("gzip", core.SchemeDCG, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -74,8 +74,48 @@ func PackedTally(d *usagetrace.Decoded, s Scheme, machine config.Config) (t powe
 		t.FrontFullCycles = 0
 		t.FrontSlotsOn = p.FrontSlotsSum(sc.frontDepth)
 		return t, p.LeadViolations(), true
+	case *Lector:
+		if sc.cfg != machine {
+			return power.Tally{}, 0, false
+		}
+		return lectorTally(p, machine), 0, true
 	}
 	return power.Tally{}, 0, false
+}
+
+// lectorTally derives the stage-level occupancy scheme's tally in closed
+// form: an occupied stage burns width slots, an empty one zero, and the
+// control-gate count is the empty-stage total with the all-idle cycles
+// collapsed to the single master gate — exactly the scalar Gates rule,
+// summed over the latch-non-zero planes.
+func lectorTally(p *usagetrace.Packed, cfg config.Config) power.Tally {
+	t := fullTally(p, cfg)
+	t.ControlCycles = 0
+	n := int64(p.Cycles())
+	stages := cfg.BackEndLatchStages()
+	var nzSum, anyNZ int64
+	for w := 0; w < p.Words(); w++ {
+		union := uint64(0)
+		for s := 0; s < stages; s++ {
+			v := p.LatchNonZeroPlane(s)[w]
+			nzSum += int64(bits.OnesCount64(v))
+			union |= v
+		}
+		anyNZ += int64(bits.OnesCount64(union))
+	}
+	t.BackSlotsOn = int64(cfg.IssueWidth) * nzSum
+	gateCycles := int64(stages)*n - nzSum
+	if stages > 1 {
+		gateCycles -= (n - anyNZ) * int64(stages-1)
+	}
+	t.ControlGateCycles = gateCycles
+	t.GateViolations = p.ViolationCycles(
+		p.OverFullUnits(fuCounts(cfg)),
+		p.OverFullDPorts(cfg.DL1.Ports),
+		p.OverFullBus(cfg.IssueWidth),
+		p.OverFullLatch(cfg.IssueWidth),
+	)
+	return t
 }
 
 // fuCounts collects the machine's FU pool sizes indexed by cpu.FUType.

@@ -44,6 +44,19 @@ type GateState struct {
 
 	// ControlOverhead charges DCG's extended-latch control power.
 	ControlOverhead bool
+
+	// ValueGatedLatches marks a value-dependent latch-gating decision
+	// (ddcg family): BackLatchSlots tracks the value-change counts, which
+	// may legitimately sit below the latch occupancy. The accountant's
+	// soundness check then compares against Usage.BackLatchNewVal instead
+	// of Usage.BackLatch.
+	ValueGatedLatches bool
+
+	// ControlGates is the number of stage-level gate controls exercised
+	// this cycle (LECTOR-style control-gate trees). Each is charged
+	// 1/BackLatchStages of the DCG control-block power, accumulated into
+	// Tally.ControlGateCycles.
+	ControlGates int
 }
 
 // Gater produces the gate state for each cycle. The baseline returns
@@ -91,6 +104,11 @@ type Tally struct {
 
 	// ControlCycles counts cycles charged the DCG control-latch overhead.
 	ControlCycles uint64
+
+	// ControlGateCycles is the summed GateState.ControlGates: stage-level
+	// gate-control activations, each worth 1/BackLatchStages of the
+	// control-block per-cycle power in the breakdown.
+	ControlGateCycles int64
 
 	// GateViolations counts cycles in which a gating decision disabled a
 	// structure the pipeline actually used — a correctness failure for a
@@ -153,8 +171,15 @@ func (a *Accountant) OnCycle(u *cpu.Usage) {
 	if gs.ControlOverhead {
 		a.ControlCycles++
 	}
+	a.ControlGateCycles += int64(gs.ControlGates)
 
-	// Soundness check: a gated structure must not have been used.
+	// Soundness check: a gated structure must not have been used. A
+	// value-gated latch decision is sound when it covers every slot that
+	// latched a new value; a plain one must cover every occupied slot.
+	latchFloor := u.BackLatch
+	if gs.ValueGatedLatches {
+		latchFloor = u.BackLatchNewVal
+	}
 	if gs.IntALUMask&u.IntALUBusy != u.IntALUBusy ||
 		gs.IntMultMask&u.IntMultBusy != u.IntMultBusy ||
 		gs.FPALUMask&u.FPALUBusy != u.FPALUBusy ||
@@ -164,7 +189,7 @@ func (a *Accountant) OnCycle(u *cpu.Usage) {
 		a.GateViolations++
 	} else {
 		for s, n := range gs.BackLatchSlots {
-			if s < len(u.BackLatch) && n < u.BackLatch[s] {
+			if s < len(latchFloor) && n < latchFloor[s] {
 				a.GateViolations++
 				break
 			}
@@ -222,6 +247,10 @@ func (a *Accountant) Breakdown() Breakdown {
 	b[CompResultBus] = m.ResultBusUnit * a.gatedSum(a.BusOn, int64(cfg.IssueWidth)*n)
 
 	b[CompDCGControl] = m.perCycle[CompDCGControl] * float64(a.ControlCycles)
+	if a.ControlGateCycles != 0 && m.BackLatchStages > 0 {
+		b[CompDCGControl] += m.perCycle[CompDCGControl] *
+			float64(a.ControlGateCycles) / float64(m.BackLatchStages)
+	}
 	return b
 }
 

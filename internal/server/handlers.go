@@ -24,8 +24,8 @@ type SimRequest struct {
 	// Benchmark is a built-in benchmark name (see /v1/benchmarks).
 	Benchmark string `json:"benchmark"`
 
-	// Scheme is "none", "dcg", "plb-orig", "plb-ext" or "oracle"
-	// (default "dcg").
+	// Scheme is a registered gating-scheme name (GET /v1/schemes
+	// enumerates them; default "dcg").
 	Scheme string `json:"scheme,omitempty"`
 
 	// Insts is the measured dynamic instruction count (default: the
@@ -178,6 +178,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/v1/sim", s.instrumented("/v1/sim", s.handleSim))
 	s.mux.HandleFunc("/v1/batch", s.instrumented("/v1/batch", s.handleBatch))
 	s.mux.HandleFunc("/v1/benchmarks", s.instrumented("/v1/benchmarks", s.handleBenchmarks))
+	s.mux.HandleFunc("/v1/schemes", s.instrumented("/v1/schemes", s.handleSchemes))
 	if s.cfg.EnableTrace {
 		s.mux.HandleFunc("/v1/trace", s.instrumented("/v1/trace", s.handleTrace))
 	}
@@ -359,6 +360,52 @@ func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 		"fp":         workload.FPNames(),
 		"schemes":    schemes,
 	})
+}
+
+// SchemeInfo is the wire form of one /v1/schemes entry, derived from the
+// core scheme registry.
+type SchemeInfo struct {
+	// Name is the scheme's registered name, accepted by every scheme
+	// field in the API.
+	Name string `json:"name"`
+
+	// Summary is the one-line description from the registry.
+	Summary string `json:"summary"`
+
+	// Replay is how results are produced: "packed" (bit-packed replay
+	// kernel), "scalar" (per-cycle trace replay), or "full-run" (the
+	// scheme perturbs timing; every evaluation is a full simulation).
+	Replay string `json:"replay"`
+
+	// TimingNeutral reports whether the scheme shares captured timing
+	// traces with other neutral schemes.
+	TimingNeutral bool `json:"timing_neutral"`
+
+	// Channels lists the extra trace channels the scheme's captures
+	// carry beyond the usage channel (e.g. "latchvalue").
+	Channels []string `json:"channels,omitempty"`
+}
+
+// handleSchemes enumerates the gating-scheme registry: names, summaries,
+// replay capabilities, and required trace channels. Sweep specs and batch
+// requests can be validated client-side against this listing.
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	infos := core.Schemes()
+	out := make([]SchemeInfo, len(infos))
+	for i, info := range infos {
+		out[i] = SchemeInfo{
+			Name:          string(info.Kind),
+			Summary:       info.Summary,
+			Replay:        info.Replay.String(),
+			TimingNeutral: info.Replay != core.ReplayFullRun,
+			Channels:      info.Channels,
+		}
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"schemes": out})
 }
 
 // handleHealthz reports liveness; a draining server answers 503 so load

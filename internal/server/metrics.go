@@ -49,7 +49,7 @@ var servedSources = []string{"simulated", "cache", "coalesced", "replayed", "sto
 // instrumentedRoutes are the request-counter label values pre-created at
 // startup (the middleware accepts any route, these just guarantee the
 // series exist from the first scrape).
-var instrumentedRoutes = []string{"/v1/sim", "/v1/batch", "/v1/trace", "/v1/benchmarks"}
+var instrumentedRoutes = []string{"/v1/sim", "/v1/batch", "/v1/trace", "/v1/benchmarks", "/v1/schemes"}
 
 // newInstruments builds the metric set. The cache-level counters are
 // registered as scrape-time callbacks over the executor's own counters,

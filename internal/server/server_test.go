@@ -330,8 +330,64 @@ func TestBenchmarksEndpoint(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
-	if len(out.Benchmarks) == 0 || len(out.Schemes) != 5 {
+	if len(out.Benchmarks) == 0 || len(out.Schemes) != len(core.AllSchemes()) {
 		t.Fatalf("vocabulary wrong: %d benchmarks, %d schemes", len(out.Benchmarks), len(out.Schemes))
+	}
+}
+
+// TestSchemesEndpoint: the discovery endpoint mirrors the core scheme
+// registry — every registered scheme appears with its replay capability
+// and channel requirements, so clients can validate sweep specs without
+// hardcoding the vocabulary.
+func TestSchemesEndpoint(t *testing.T) {
+	s := NewWithRunner(Config{}, (&countingRunner{}).run)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/schemes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Schemes []SchemeInfo `json:"schemes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Schemes) != len(core.AllSchemes()) {
+		t.Fatalf("endpoint lists %d schemes, registry has %d", len(out.Schemes), len(core.AllSchemes()))
+	}
+	byName := map[string]SchemeInfo{}
+	for _, sch := range out.Schemes {
+		if sch.Name == "" || sch.Summary == "" || sch.Replay == "" {
+			t.Errorf("incomplete scheme entry: %+v", sch)
+		}
+		byName[sch.Name] = sch
+	}
+	ddcg, ok := byName["ddcg"]
+	if !ok {
+		t.Fatal("endpoint omits ddcg")
+	}
+	if ddcg.Replay != "scalar" || !ddcg.TimingNeutral ||
+		len(ddcg.Channels) != 1 || ddcg.Channels[0] != "latchvalue" {
+		t.Errorf("ddcg entry wrong: %+v", ddcg)
+	}
+	if plb := byName["plb-ext"]; plb.Replay != "full-run" || plb.TimingNeutral {
+		t.Errorf("plb-ext entry wrong: %+v", plb)
+	}
+	if dcg := byName["dcg"]; dcg.Replay != "packed" || len(dcg.Channels) != 0 {
+		t.Errorf("dcg entry wrong: %+v", dcg)
+	}
+
+	// POST is not part of the contract.
+	post, err := ts.Client().Post(ts.URL+"/v1/schemes", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/schemes: status %d, want 405", post.StatusCode)
 	}
 }
 

@@ -169,7 +169,7 @@ func TestConcurrentMixedKeys(t *testing.T) {
 	c := NewCache[Key, *core.Result](8)
 	keys := make([]Key, 24)
 	for i := range keys {
-		keys[i] = Key{Bench: fmt.Sprintf("k%d", i), Scheme: core.SchemeKind(i % 4), Insts: uint64(i)}
+		keys[i] = Key{Bench: fmt.Sprintf("k%d", i), Scheme: core.AllSchemes()[i%4], Insts: uint64(i)}
 	}
 	var wg sync.WaitGroup
 	for g := 0; g < 16; g++ {

@@ -53,24 +53,34 @@ func (k Key) Machine() config.Config {
 	return m
 }
 
-// TimingKey strips the gating scheme from a Key: it identifies the core
-// timing simulation alone. Every timing-neutral scheme evaluated on the
-// same workload and machine shares one TimingKey — and therefore one
-// captured trace in the Exec's timing cache.
+// TimingKey strips the gating scheme from a Key, keeping only the trace
+// channel set the scheme requires: it identifies the core timing
+// simulation alone. Every timing-neutral scheme with the same channel
+// needs evaluated on the same workload and machine shares one TimingKey
+// — and therefore one captured trace in the Exec's timing cache. The
+// channel set stays part of the key so a usage-only capture (including
+// every pre-channel v1 artifact in a persistent store) is never served
+// to a value-dependent scheme.
 func (k Key) TimingKey() TimingKey {
-	return TimingKey{Bench: k.Bench, Deep: k.Deep, IntALU: k.IntALU, Insts: k.Insts, Warmup: k.Warmup}
+	return TimingKey{
+		Bench: k.Bench, Deep: k.Deep, IntALU: k.IntALU, Insts: k.Insts, Warmup: k.Warmup,
+		Channels: core.ChannelKey(core.SchemeChannels(k.Scheme)),
+	}
 }
 
-// TimingKey identifies one cycle-accurate timing pass: the workload and
-// the machine's timing-relevant configuration, with no gating scheme.
-// (Timing-neutral schemes do not perturb timing, so they never appear
-// here; PLB does and is excluded from the timing cache entirely.)
+// TimingKey identifies one cycle-accurate timing pass: the workload, the
+// machine's timing-relevant configuration, and the captured trace's
+// extra channel set (canonical comma-joined form; "" = usage only) —
+// with no gating scheme. (Timing-neutral schemes do not perturb timing,
+// so they never appear here; PLB does and is excluded from the timing
+// cache entirely.)
 type TimingKey struct {
-	Bench  string
-	Deep   bool
-	IntALU int
-	Insts  uint64
-	Warmup uint64
+	Bench    string
+	Deep     bool
+	IntALU   int
+	Insts    uint64
+	Warmup   uint64
+	Channels string
 }
 
 // Machine returns the processor configuration the timing key selects.
@@ -111,12 +121,14 @@ func boolWord(b bool) uint64 {
 // Hash mixes every field FNV-1a style; the cache uses it to pick a shard.
 func (k Key) Hash() uint64 {
 	h := fnvString(fnvOffset, k.Bench)
-	return fnvWords(h, uint64(k.Scheme), boolWord(k.Deep), uint64(k.IntALU), k.Insts, k.Warmup)
+	h = fnvString(h, string(k.Scheme))
+	return fnvWords(h, boolWord(k.Deep), uint64(k.IntALU), k.Insts, k.Warmup)
 }
 
 // Hash mixes every field FNV-1a style; the cache uses it to pick a shard.
 func (k TimingKey) Hash() uint64 {
 	h := fnvString(fnvOffset, k.Bench)
+	h = fnvString(h, k.Channels)
 	return fnvWords(h, boolWord(k.Deep), uint64(k.IntALU), k.Insts, k.Warmup)
 }
 

@@ -178,16 +178,26 @@ func (s *Store) Register(reg *obs.Registry) {
 
 // resultAddr derives the content address of a result artifact. The
 // canonical string covers every Key field plus a format version, so a
-// layout change can never decode stale artifacts.
+// layout change can never decode stale artifacts. Schemes address by
+// name: the registry's string names are stable where enum ordinals were
+// not.
 func resultAddr(k simrun.Key) string {
-	return addr(fmt.Sprintf("result|v%d|bench=%s|scheme=%d|deep=%t|alu=%d|insts=%d|warmup=%d",
+	return addr(fmt.Sprintf("result|v%d|bench=%s|scheme=%s|deep=%t|alu=%d|insts=%d|warmup=%d",
 		artifactVersion, k.Bench, k.Scheme, k.Deep, k.IntALU, k.Insts, k.Warmup))
 }
 
-// timingAddr derives the content address of a timing artifact.
+// timingAddr derives the content address of a timing artifact. The
+// channel set is appended only when non-empty, so every usage-only
+// timing artifact written before trace channels existed keeps its
+// address — old stores stay warm — while channelized captures address
+// separately and a v1 artifact can never serve a value-dependent scheme.
 func timingAddr(k simrun.TimingKey) string {
-	return addr(fmt.Sprintf("timing|v%d|bench=%s|deep=%t|alu=%d|insts=%d|warmup=%d",
-		artifactVersion, k.Bench, k.Deep, k.IntALU, k.Insts, k.Warmup))
+	canonical := fmt.Sprintf("timing|v%d|bench=%s|deep=%t|alu=%d|insts=%d|warmup=%d",
+		artifactVersion, k.Bench, k.Deep, k.IntALU, k.Insts, k.Warmup)
+	if k.Channels != "" {
+		canonical += "|channels=" + k.Channels
+	}
+	return addr(canonical)
 }
 
 func addr(canonical string) string {

@@ -78,8 +78,8 @@ type Spec struct {
 	// Benchmarks lists built-in benchmark names (workload.Names()).
 	Benchmarks []string `json:"benchmarks"`
 
-	// Schemes lists gating schemes by name ("none", "dcg", "oracle",
-	// "plb-orig", "plb-ext").
+	// Schemes lists gating schemes by registered name (core.AllSchemes;
+	// GET /v1/schemes on a running dcgserve enumerates them).
 	Schemes []string `json:"schemes"`
 
 	// Machines lists processor configurations (default: one baseline).

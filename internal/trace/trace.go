@@ -36,6 +36,14 @@ type DynInst struct {
 
 	// EA is the resolved effective address for loads and stores.
 	EA uint64
+
+	// Value is the architectural value the instruction carries down the
+	// pipeline: the computed result for register writers, the effective
+	// address for memory operations without a result, the resolved target
+	// for control instructions. Value-dependent gating schemes (ddcg)
+	// compare consecutive values per pipeline lane; usage-only schemes
+	// ignore it.
+	Value uint64
 }
 
 // IsBranch reports whether the instruction is a conditional branch.

@@ -37,12 +37,33 @@ func tinyCapture(t *testing.T, cycles int) []byte {
 func TestDecodeErrorPaths(t *testing.T) {
 	good := tinyCapture(t, 3)
 
-	// Offsets inside the encoding of tinyCapture: header is
-	// "DCGU" + version + nameLen + "tiny" + uvarint(2) = 4+1+1+4+1 = 11
-	// bytes, followed by the first cycle record (tag byte at 11).
-	const headerLen = 11
+	// Offsets inside the encoding of tinyCapture: the v2 header is
+	// "DCGU" + version + nameLen + "tiny" (= 10 bytes), then the channel
+	// table: uvarint(1) channel count, len byte + "usage" + uvarint(2)
+	// stages — 18 bytes total, followed by the first cycle record.
+	const (
+		chTableOff = 10 // uvarint channel count
+		headerLen  = 18 // first cycle record tag
+	)
 	if good[headerLen] != tagCycle {
 		t.Fatalf("layout drift: byte %d is 0x%02x, want cycle tag", headerLen, good[headerLen])
+	}
+
+	// chEntry encodes one channel-table entry; withChannels splices extra
+	// entries after the mandatory usage entry (patching the count byte),
+	// leaving the usage-only cycle records behind them untouched — every
+	// such mutation must be refused while parsing the table itself.
+	chEntry := func(name string, stages uint64) []byte {
+		e := append([]byte{byte(len(name))}, name...)
+		return binary.AppendUvarint(e, stages)
+	}
+	withChannels := func(b []byte, entries ...[]byte) []byte {
+		out := append([]byte{}, b[:headerLen]...)
+		out[chTableOff] = byte(1 + len(entries))
+		for _, e := range entries {
+			out = append(out, e...)
+		}
+		return append(out, b[headerLen:]...)
 	}
 
 	tests := []struct {
@@ -79,9 +100,87 @@ func TestDecodeErrorPaths(t *testing.T) {
 			wantErr: "short name",
 		},
 		{
+			name:    "channel count missing",
+			mutate:  func(b []byte) []byte { return b[:chTableOff] },
+			wantErr: "short header (channel count)",
+		},
+		{
+			name: "zero channels",
+			mutate: func(b []byte) []byte {
+				b[chTableOff] = 0
+				return b
+			},
+			wantErr: "no channels (usage is mandatory)",
+		},
+		{
+			name: "implausible channel count",
+			mutate: func(b []byte) []byte {
+				b[chTableOff] = maxTraceChannels + 1
+				return b
+			},
+			wantErr: "implausible channel count",
+		},
+		{
+			name:    "channel name cut short",
+			mutate:  func(b []byte) []byte { return b[:chTableOff+3] },
+			wantErr: "short channel header 0",
+		},
+		{
+			name: "first channel not usage",
+			mutate: func(b []byte) []byte {
+				b[headerLen-2] = 'f' // "usage" -> "usagf"
+				return b
+			},
+			wantErr: `first channel is "usagf"`,
+		},
+		{
 			name:    "latch-stage count missing",
 			mutate:  func(b []byte) []byte { return b[:headerLen-1] },
-			wantErr: "short header (latch stages)",
+			wantErr: `short channel header "usage"`,
+		},
+		{
+			name: "second channel header missing",
+			mutate: func(b []byte) []byte {
+				out := append([]byte{}, b[:headerLen]...)
+				out[chTableOff] = 2
+				return out
+			},
+			wantErr: "short channel header 1",
+		},
+		{
+			name: "duplicate usage channel",
+			mutate: func(b []byte) []byte {
+				return withChannels(b, chEntry(ChannelUsage, 2))
+			},
+			wantErr: `duplicate "usage" channel`,
+		},
+		{
+			name: "unknown extra channel",
+			mutate: func(b []byte) []byte {
+				return withChannels(b, chEntry("bogus", 2))
+			},
+			wantErr: `unknown trace channel "bogus"`,
+		},
+		{
+			name: "extra channel stage mismatch",
+			mutate: func(b []byte) []byte {
+				return withChannels(b, chEntry(ChannelLatchValue, 3))
+			},
+			wantErr: `channel "latchvalue" declares 3 stages but usage declares 2`,
+		},
+		{
+			name: "duplicate extra channel",
+			mutate: func(b []byte) []byte {
+				return withChannels(b, chEntry(ChannelLatchValue, 2), chEntry(ChannelLatchValue, 2))
+			},
+			wantErr: `duplicate "latchvalue" channel`,
+		},
+		{
+			name: "extra channel stage count implausible",
+			mutate: func(b []byte) []byte {
+				return withChannels(b, chEntry(ChannelLatchValue, maxLatchStages+1))
+			},
+			wantErr: "implausible stage count",
 		},
 		{
 			name:    "stream ends after header",
@@ -136,12 +235,12 @@ func TestDecodeErrorPaths(t *testing.T) {
 			name: "implausible latch stage count",
 			mutate: func(b []byte) []byte {
 				// Splice a stage count past the hardening limit over the
-				// single-byte uvarint(2) at the end of the header.
+				// single-byte uvarint(2) closing the usage channel entry.
 				out := append([]byte{}, b[:headerLen-1]...)
 				out = binary.AppendUvarint(out, maxLatchStages+1)
 				return append(out, b[headerLen:]...)
 			},
-			wantErr: "implausible latch stage count",
+			wantErr: "implausible stage count",
 		},
 	}
 
@@ -193,21 +292,51 @@ func TestDecodeTruncatedEventPayload(t *testing.T) {
 	}
 	full := buf.Bytes()
 
-	// Header (4+1+1+2+1 = 9 bytes) + tag + event count + flags puts byte
-	// 12 inside the event's timing fields.
-	_, err = ReadTrace(bytes.NewReader(full[:12]))
+	// Header ("DCGU" + version + nameLen + "ev" + channel table =
+	// 4+1+1+2+1+1+5+1 = 16 bytes) + tag + event count + flags puts byte
+	// 19 inside the event's timing fields.
+	_, err = ReadTrace(bytes.NewReader(full[:19]))
 	if err == nil || !strings.Contains(err.Error(), "truncated event at cycle 0") {
 		t.Fatalf("err = %v, want truncated-event error", err)
 	}
 
-	// The flags byte (offset 11) carries the FU type in its top nibble;
+	// The flags byte (offset 18) carries the FU type in its top nibble;
 	// setting the two reserved bits yields a type no machine has, which
 	// must be refused rather than indexed into the schedule rings.
 	corrupt := append([]byte{}, full...)
-	corrupt[11] |= 0xC0
+	corrupt[18] |= 0xC0
 	_, err = ReadTrace(bytes.NewReader(corrupt))
 	if err == nil || !strings.Contains(err.Error(), "corrupt FU type") {
 		t.Fatalf("err = %v, want corrupt-FU-type error", err)
+	}
+}
+
+// TestDecodeTruncatedLatchValuePayload cuts a channelized stream inside
+// the latchvalue payload of a cycle record: the decoder must name the
+// channel it was reading, not report a generic usage truncation.
+func TestDecodeTruncatedLatchValuePayload(t *testing.T) {
+	rec, err := NewRecorder("lv", 2, ChannelLatchValue)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := cpu.Usage{Cycle: 0, IssueCount: 1, BackLatch: []int{1, 2}, BackLatchNewVal: []int{1, 1}}
+	rec.OnCycle(&u)
+	tr, err := rec.Trace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// The stream is header + one cycle record + end marker (tag byte +
+	// uvarint(1) = 2 bytes); the record's last byte is the second
+	// latchvalue uvarint, so cutting one byte earlier lands mid-payload.
+	_, err = ReadTrace(bytes.NewReader(full[:len(full)-3]))
+	if err == nil || !strings.Contains(err.Error(), "truncated latchvalue at cycle 0") {
+		t.Fatalf("err = %v, want truncated-latchvalue error", err)
 	}
 }
 

@@ -31,6 +31,12 @@ type Decoded struct {
 	// cycle c, stage s at backLatch[c*stages+s].
 	backLatch []int32
 
+	// channels is the trace's channel table (usage first);
+	// backLatchNewVal is the latchvalue channel's column, row-major like
+	// backLatch, and nil when the trace does not carry that channel.
+	channels        []string
+	backLatchNewVal []int32
+
 	// events is every issue event in capture order; cycle c's events are
 	// events[evOff[c]:evOff[c+1]].
 	events []cpu.IssueEvent
@@ -82,6 +88,19 @@ func (d *Decoded) Name() string { return d.name }
 // BackLatchStages returns the machine's gatable back-end latch stage count.
 func (d *Decoded) BackLatchStages() int { return d.stages }
 
+// Channels returns the decoded trace's channel table, usage first.
+func (d *Decoded) Channels() []string { return d.channels }
+
+// HasChannel reports whether the decoded trace carries the named channel.
+func (d *Decoded) HasChannel(name string) bool {
+	for _, ch := range d.channels {
+		if ch == name {
+			return true
+		}
+	}
+	return false
+}
+
 // Cycles returns the decoded cycle count.
 func (d *Decoded) Cycles() uint64 { return d.cycles }
 
@@ -109,6 +128,7 @@ func decodeColumns(r *Reader, cyclesHint uint64) (*Decoded, error) {
 	d := &Decoded{
 		name:      r.Name(),
 		stages:    stages,
+		channels:  r.Channels(),
 		issue:     make([]int32, 0, n),
 		fpIssue:   make([]int32, 0, n),
 		memIssue:  make([]int32, 0, n),
@@ -123,6 +143,10 @@ func decodeColumns(r *Reader, cyclesHint uint64) (*Decoded, error) {
 		occ:       make([]int32, 0, n),
 		backLatch: make([]int32, 0, latchHint),
 		evOff:     make([]uint32, 1, n+1),
+	}
+	hasLatchValue := r.hasLatchValue
+	if hasLatchValue {
+		d.backLatchNewVal = make([]int32, 0, latchHint)
 	}
 	for {
 		events, u, err := r.Next()
@@ -152,6 +176,11 @@ func decodeColumns(r *Reader, cyclesHint uint64) (*Decoded, error) {
 		d.occ = append(d.occ, int32(u.WindowOccupancy))
 		for _, v := range u.BackLatch {
 			d.backLatch = append(d.backLatch, int32(v))
+		}
+		if hasLatchValue {
+			for _, v := range u.BackLatchNewVal {
+				d.backLatchNewVal = append(d.backLatchNewVal, int32(v))
+			}
 		}
 		d.cycles++
 	}
@@ -187,6 +216,11 @@ func (d *Decoded) fillUsage(u *cpu.Usage, c uint64) {
 	for s := 0; s < d.stages; s++ {
 		u.BackLatch[s] = int(d.backLatch[base+s])
 	}
+	if d.backLatchNewVal != nil {
+		for s := 0; s < d.stages; s++ {
+			u.BackLatchNewVal[s] = int(d.backLatchNewVal[base+s])
+		}
+	}
 }
 
 // Sink is one consumer of a fused replay: a scheme's issue listener plus
@@ -208,6 +242,9 @@ func ReplayAll(d *Decoded, sinks ...Sink) uint64 {
 	fusedSchemeCount.Add(uint64(len(sinks)))
 	var u cpu.Usage
 	u.BackLatch = make([]int, d.stages)
+	if d.backLatchNewVal != nil {
+		u.BackLatchNewVal = make([]int, d.stages)
+	}
 	for c := uint64(0); c < d.cycles; c++ {
 		events := d.events[d.evOff[c]:d.evOff[c+1]]
 		for _, s := range sinks {

@@ -58,6 +58,12 @@ type Packed struct {
 	issueNE  []uint64
 	commitNE []uint64
 
+	// Latchvalue-channel planes and aggregates: per-stage value-change
+	// non-zero bits and the summed value-change slot count. nil/zero when
+	// the trace does not carry the latchvalue channel.
+	latchValNZ         [][]uint64
+	backLatchNewValSum int64
+
 	// Schedule-violation planes: cycles where actual usage exceeded the
 	// mirrored DCG schedule (gate violations for the gated classes).
 	unitOverSched  []uint64
@@ -142,6 +148,12 @@ func buildPacked(d *Decoded) *Packed {
 	}
 	p.issueNE = make([]uint64, words)
 	p.commitNE = make([]uint64, words)
+	if d.backLatchNewVal != nil {
+		p.latchValNZ = make([][]uint64, d.stages)
+		for s := range p.latchValNZ {
+			p.latchValNZ[s] = make([]uint64, words)
+		}
+	}
 	p.unitOverSched = make([]uint64, words)
 	p.dportOverSched = make([]uint64, words)
 	p.busOverSched = make([]uint64, words)
@@ -222,6 +234,15 @@ func buildPacked(d *Decoded) *Packed {
 			}
 			p.backLatchSum += int64(v)
 		}
+		if d.backLatchNewVal != nil {
+			for s := 0; s < d.stages; s++ {
+				v := d.backLatchNewVal[base+s]
+				if v != 0 {
+					p.latchValNZ[s][w] |= bit
+				}
+				p.backLatchNewValSum += int64(v)
+			}
+		}
 		p.fetchSum += int64(d.fetchN[c])
 	}
 	return p
@@ -301,6 +322,30 @@ func (p *Packed) BusSchedCappedSum(limit int) (sum int64, ok bool) {
 // BackLatchSum returns the summed back-end latch occupancy over all
 // stages and cycles — a latch-gating scheme's enabled slot-cycles.
 func (p *Packed) BackLatchSum() int64 { return p.backLatchSum }
+
+// HasLatchValue reports whether the trace carried the latchvalue channel,
+// i.e. whether the latch value-change planes and sums below are populated.
+func (p *Packed) HasLatchValue() bool { return p.latchValNZ != nil }
+
+// LatchValueChangePlane returns the plane with bit c set when back-end
+// latch stage s carried any value-changing instruction at cycle c, or nil
+// when the trace has no latchvalue channel.
+func (p *Packed) LatchValueChangePlane(s int) []uint64 {
+	if p.latchValNZ == nil {
+		return nil
+	}
+	return p.latchValNZ[s]
+}
+
+// BackLatchNewValSum returns the summed value-change slot count over all
+// stages and cycles — a value-dependent latch-gating scheme's enabled
+// slot-cycles. ok is false when the trace has no latchvalue channel.
+func (p *Packed) BackLatchNewValSum() (sum int64, ok bool) {
+	if p.latchValNZ == nil {
+		return 0, false
+	}
+	return p.backLatchNewValSum, true
+}
 
 // LeadViolations returns the mirrored controller's advance-knowledge
 // violations (events arriving without >= 1 cycle of lead), with the

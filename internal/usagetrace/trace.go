@@ -15,10 +15,11 @@ import (
 // any number of replays (Reader/Replay) may run over it concurrently,
 // which is what lets one timing pass serve many scheme evaluations.
 type Trace struct {
-	name   string
-	stages int
-	cycles uint64
-	data   []byte
+	name     string
+	stages   int
+	cycles   uint64
+	channels []string
+	data     []byte
 
 	// The memoized columnar decode (Decode). The sync.Once makes a Trace
 	// non-copyable, which is deliberate: every consumer must share the
@@ -36,6 +37,20 @@ func (t *Trace) BackLatchStages() int { return t.stages }
 
 // Cycles returns the number of captured cycles.
 func (t *Trace) Cycles() uint64 { return t.cycles }
+
+// Channels returns the trace's channel table, usage first. Callers must
+// not mutate the returned slice.
+func (t *Trace) Channels() []string { return t.channels }
+
+// HasChannel reports whether the trace carries the named channel.
+func (t *Trace) HasChannel(name string) bool {
+	for _, ch := range t.channels {
+		if ch == name {
+			return true
+		}
+	}
+	return false
+}
 
 // SizeBytes returns the encoded size (the residency cost of caching the
 // trace).
@@ -126,7 +141,13 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Trace{name: rd.Name(), stages: rd.BackLatchStages(), cycles: cycles, data: data}, nil
+	return &Trace{
+		name:     rd.Name(),
+		stages:   rd.BackLatchStages(),
+		cycles:   cycles,
+		channels: rd.Channels(),
+		data:     data,
+	}, nil
 }
 
 // Recorder captures a run into an in-memory Trace. It implements
@@ -137,10 +158,12 @@ type Recorder struct {
 	w   *Writer
 }
 
-// NewRecorder starts an in-memory capture for the named workload.
-func NewRecorder(name string, backLatchStages int) (*Recorder, error) {
+// NewRecorder starts an in-memory capture for the named workload. extra
+// names additional channels beyond the implicit usage channel (see
+// NewWriter).
+func NewRecorder(name string, backLatchStages int, extra ...string) (*Recorder, error) {
 	rec := &Recorder{}
-	w, err := NewWriter(&rec.buf, name, backLatchStages)
+	w, err := NewWriter(&rec.buf, name, backLatchStages, extra...)
 	if err != nil {
 		return nil, err
 	}
@@ -160,9 +183,10 @@ func (r *Recorder) Trace() (*Trace, error) {
 		return nil, err
 	}
 	return &Trace{
-		name:   r.w.name,
-		stages: r.w.stages,
-		cycles: r.w.Cycles(),
-		data:   r.buf.Bytes(),
+		name:     r.w.name,
+		stages:   r.w.stages,
+		cycles:   r.w.Cycles(),
+		channels: r.w.Channels(),
+		data:     r.buf.Bytes(),
 	}, nil
 }

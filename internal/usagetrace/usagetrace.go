@@ -10,16 +10,24 @@
 // machine-timing) turns every additional scheme evaluation into a
 // memory-bandwidth replay (internal/core.Simulator.EvaluateTiming).
 //
-// # Format
+// # Format (v2, channelized)
 //
-// A trace is a header followed by one record per cycle and a terminating
-// end marker. All integers are unsigned varints (encoding/binary) unless
-// noted; cycle numbers are implicit (record index == cycle, measured
-// regions always start at cycle 0).
+// A trace is a set of named channels: per-cycle data families that
+// schemes consume independently. The "usage" channel is the classic
+// usage-vector + issue-event stream every scheme needs; the optional
+// "latchvalue" channel carries the per-stage value-change counts
+// (cpu.Usage.BackLatchNewVal) that data-dependent gating schemes (ddcg)
+// compare latch inputs against outputs with. The stream is a header
+// (with a per-channel table) followed by one record per cycle and a
+// terminating end marker. All integers are unsigned varints
+// (encoding/binary) unless noted; cycle numbers are implicit (record
+// index == cycle, measured regions always start at cycle 0).
 //
-//	header:  "DCGU" | version byte | name length byte | name |
-//	         uvarint backLatchStages
-//	cycle:   0x01 tag | uvarint eventCount | events... | usage
+//	header:  "DCGU" | version byte (2) | name length byte | name |
+//	         uvarint channelCount |
+//	         per channel: name length byte | channel name | uvarint stages
+//	cycle:   0x01 tag | uvarint eventCount | events... | usage |
+//	         extra-channel payloads in header order
 //	event:   flags byte (bit0 hasFU, bit1 isLoad, bit2 isStore,
 //	         bit3 writesReg, bits4-5 FUType) |
 //	         [hasFU: uvarint fuIdx, fuStart-cycle, fuLat] |
@@ -28,7 +36,18 @@
 //	usage:   uvarint issue, fpIssue, memIssue, intALUBusy, intMultBusy,
 //	         fpALUBusy, fpMultBusy, dportUsed, resultBus, commit, fetch |
 //	         zigzag varint windowOccupancy delta | uvarint backLatch[stage]...
+//	latchvalue: uvarint backLatchNewVal[stage]...
 //	end:     0x00 tag | uvarint total cycle count
+//
+// The "usage" channel is always present and always first in the table;
+// its stages parameter is the machine's gatable back-end latch stage
+// count. A usage-only v2 trace has a cycle-record body byte-identical
+// to v1's, so old replay arithmetic is untouched by the version bump.
+//
+// Version 1 streams — header "DCGU" | 1 | nameLen | name | uvarint
+// backLatchStages, no channel table, usage-only records — are still
+// accepted by the reader, so trace artifacts persisted before the v2
+// bump keep decoding bit-identically. The writer always emits v2.
 //
 // Event timing fields are stored as deltas from the event's select cycle
 // (they always lie a small, bounded distance in the future — that is the
@@ -83,8 +102,9 @@ func pooledGzipReader(r io.Reader) (*gzip.Reader, error) {
 func putGzipReader(gz *gzip.Reader) { gzipReaderPool.Put(gz) }
 
 const (
-	traceMagic   = "DCGU"
-	traceVersion = 1
+	traceMagic    = "DCGU"
+	traceVersion  = 2
+	traceVersion1 = 1
 
 	tagCycle = 0x01
 	tagEnd   = 0x00
@@ -106,7 +126,32 @@ const (
 	// buffer, and a machine has a few latch stages, not thousands — a
 	// larger count is corruption, refused before it sizes any allocation.
 	maxLatchStages = 4096
+
+	// maxTraceChannels bounds the v2 header's channel table. The registry
+	// defines a handful of channel names; a larger count is corruption.
+	maxTraceChannels = 8
 )
+
+// Channel names. The usage channel is mandatory and always first; extra
+// channels are appended in table order to every cycle record.
+const (
+	// ChannelUsage is the per-cycle usage vector plus issue events —
+	// the original v1 payload, implicit in every trace.
+	ChannelUsage = "usage"
+
+	// ChannelLatchValue is the per-stage value-change counts
+	// (cpu.Usage.BackLatchNewVal): how many latch slots of each back-end
+	// stage carried a value different from the slot's previous one.
+	// Data-dependent gating schemes (ddcg) require it.
+	ChannelLatchValue = "latchvalue"
+)
+
+// KnownChannels lists every channel name the codec understands, usage
+// first. A header naming any other channel fails the decode loudly.
+func KnownChannels() []string { return []string{ChannelUsage, ChannelLatchValue} }
+
+// validExtraChannel reports whether name is a known non-usage channel.
+func validExtraChannel(name string) bool { return name == ChannelLatchValue }
 
 // Writer serialises a capture stream. It implements cpu.Observer and
 // cpu.IssueListener, so a capturing run installs it (via the cpu fan-out
@@ -118,9 +163,12 @@ const (
 // Errors from the underlying writer are latched; Close (or Err) surfaces
 // the first one.
 type Writer struct {
-	w      *bufio.Writer
-	name   string
-	stages int
+	w        *bufio.Writer
+	name     string
+	stages   int
+	channels []string // full channel list, usage first
+
+	hasLatchValue bool
 
 	pending []cpu.IssueEvent
 	scratch []byte
@@ -132,14 +180,35 @@ type Writer struct {
 	closed bool
 }
 
-// NewWriter writes the header for a trace of the named workload on a
-// machine with backLatchStages gatable back-end latch stages.
-func NewWriter(w io.Writer, name string, backLatchStages int) (*Writer, error) {
+// NewWriter writes the v2 header for a trace of the named workload on a
+// machine with backLatchStages gatable back-end latch stages. extra
+// names additional channels (beyond the implicit usage channel) whose
+// payloads every cycle record will carry, e.g. ChannelLatchValue for
+// value-dependent schemes. Unknown or duplicated channel names are
+// rejected.
+func NewWriter(w io.Writer, name string, backLatchStages int, extra ...string) (*Writer, error) {
 	if len(name) > 255 {
 		return nil, fmt.Errorf("usagetrace: workload name too long")
 	}
 	if backLatchStages < 0 {
 		return nil, fmt.Errorf("usagetrace: negative latch stage count")
+	}
+	channels := make([]string, 0, 1+len(extra))
+	channels = append(channels, ChannelUsage)
+	hasLatchValue := false
+	for _, ch := range extra {
+		if !validExtraChannel(ch) {
+			return nil, fmt.Errorf("usagetrace: unknown trace channel %q (known: %v)", ch, KnownChannels())
+		}
+		for _, have := range channels {
+			if have == ch {
+				return nil, fmt.Errorf("usagetrace: duplicate trace channel %q", ch)
+			}
+		}
+		channels = append(channels, ch)
+		if ch == ChannelLatchValue {
+			hasLatchValue = true
+		}
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(traceMagic); err != nil {
@@ -155,18 +224,32 @@ func NewWriter(w io.Writer, name string, backLatchStages int) (*Writer, error) {
 		return nil, err
 	}
 	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], uint64(backLatchStages))
+	n := binary.PutUvarint(buf[:], uint64(len(channels)))
 	if _, err := bw.Write(buf[:n]); err != nil {
 		return nil, err
 	}
+	for _, ch := range channels {
+		if err := bw.WriteByte(byte(len(ch))); err != nil {
+			return nil, err
+		}
+		if _, err := bw.WriteString(ch); err != nil {
+			return nil, err
+		}
+		n = binary.PutUvarint(buf[:], uint64(backLatchStages))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return nil, err
+		}
+	}
 	sc := scratchPool.Get().(*encodeScratch)
 	return &Writer{
-		w:       bw,
-		name:    name,
-		stages:  backLatchStages,
-		scratch: sc.buf[:0],
-		pending: sc.pending[:0],
-		sc:      sc,
+		w:             bw,
+		name:          name,
+		stages:        backLatchStages,
+		channels:      channels,
+		hasLatchValue: hasLatchValue,
+		scratch:       sc.buf[:0],
+		pending:       sc.pending[:0],
+		sc:            sc,
 	}, nil
 }
 
@@ -216,6 +299,16 @@ func (t *Writer) OnCycle(u *cpu.Usage) {
 	for _, n := range u.BackLatch {
 		b = binary.AppendUvarint(b, uint64(n))
 	}
+	if t.hasLatchValue {
+		if len(u.BackLatchNewVal) != t.stages {
+			t.err = fmt.Errorf("usagetrace: usage has %d latchvalue stages, trace declares %d",
+				len(u.BackLatchNewVal), t.stages)
+			return
+		}
+		for _, n := range u.BackLatchNewVal {
+			b = binary.AppendUvarint(b, uint64(n))
+		}
+	}
 	t.scratch = b
 	if _, err := t.w.Write(b); err != nil {
 		t.err = err
@@ -259,6 +352,9 @@ func appendEvent(b []byte, ev *cpu.IssueEvent, cycle uint64) []byte {
 
 // Cycles returns the number of cycle records written so far.
 func (t *Writer) Cycles() uint64 { return t.cycles }
+
+// Channels returns the channel table being written, usage first.
+func (t *Writer) Channels() []string { return t.channels }
 
 // Err returns the first latched write error.
 func (t *Writer) Err() error { return t.err }
@@ -306,9 +402,12 @@ func (t *Writer) releaseScratch() {
 // event slice returned by Next are reused between calls — the same
 // contract the live core imposes on its observers.
 type Reader struct {
-	r      *bufio.Reader
-	name   string
-	stages int
+	r        *bufio.Reader
+	name     string
+	stages   int
+	channels []string
+
+	hasLatchValue bool
 
 	u      cpu.Usage
 	events []cpu.IssueEvent
@@ -337,23 +436,93 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if string(head[:len(traceMagic)]) != traceMagic {
 		return nil, fmt.Errorf("usagetrace: bad magic %q (not a usage trace)", head[:len(traceMagic)])
 	}
-	if v := head[len(traceMagic)]; v != traceVersion {
-		return nil, fmt.Errorf("usagetrace: unsupported version %d (reader speaks %d)", v, traceVersion)
+	v := head[len(traceMagic)]
+	if v != traceVersion && v != traceVersion1 {
+		return nil, fmt.Errorf("usagetrace: unsupported version %d (reader speaks %d and %d)",
+			v, traceVersion1, traceVersion)
 	}
 	name := make([]byte, int(head[len(traceMagic)+1]))
 	if _, err := io.ReadFull(br, name); err != nil {
 		return nil, fmt.Errorf("usagetrace: short name: %w", err)
 	}
-	stages, err := binary.ReadUvarint(br)
+	rd := &Reader{r: br, name: string(name)}
+
+	if v == traceVersion1 {
+		// v1: a bare backLatchStages uvarint, usage channel implicit.
+		stages, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("usagetrace: short header (latch stages): %w", err)
+		}
+		if stages > maxLatchStages {
+			return nil, fmt.Errorf("usagetrace: implausible latch stage count %d (limit %d)",
+				stages, maxLatchStages)
+		}
+		rd.stages = int(stages)
+		rd.channels = []string{ChannelUsage}
+		rd.u.BackLatch = make([]int, stages)
+		return rd, nil
+	}
+
+	// v2: a channel table, usage mandatory and first.
+	nch, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, fmt.Errorf("usagetrace: short header (latch stages): %w", err)
+		return nil, fmt.Errorf("usagetrace: short header (channel count): %w", err)
 	}
-	if stages > maxLatchStages {
-		return nil, fmt.Errorf("usagetrace: implausible latch stage count %d (limit %d)",
-			stages, maxLatchStages)
+	if nch == 0 {
+		return nil, fmt.Errorf("usagetrace: corrupt channel table: no channels (usage is mandatory)")
 	}
-	rd := &Reader{r: br, name: string(name), stages: int(stages)}
-	rd.u.BackLatch = make([]int, stages)
+	if nch > maxTraceChannels {
+		return nil, fmt.Errorf("usagetrace: implausible channel count %d (limit %d)", nch, maxTraceChannels)
+	}
+	rd.channels = make([]string, 0, nch)
+	for i := uint64(0); i < nch; i++ {
+		nameLen, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("usagetrace: short channel header %d: %w", i, err)
+		}
+		chName := make([]byte, int(nameLen))
+		if _, err := io.ReadFull(br, chName); err != nil {
+			return nil, fmt.Errorf("usagetrace: short channel header %d: %w", i, err)
+		}
+		ch := string(chName)
+		stages, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("usagetrace: short channel header %q: %w", ch, err)
+		}
+		if stages > maxLatchStages {
+			return nil, fmt.Errorf("usagetrace: channel %q declares implausible stage count %d (limit %d)",
+				ch, stages, maxLatchStages)
+		}
+		switch {
+		case i == 0:
+			if ch != ChannelUsage {
+				return nil, fmt.Errorf("usagetrace: corrupt channel table: first channel is %q, want %q",
+					ch, ChannelUsage)
+			}
+			rd.stages = int(stages)
+		case ch == ChannelUsage:
+			return nil, fmt.Errorf("usagetrace: corrupt channel table: duplicate %q channel", ChannelUsage)
+		case !validExtraChannel(ch):
+			return nil, fmt.Errorf("usagetrace: unknown trace channel %q (known: %v)", ch, KnownChannels())
+		case int(stages) != rd.stages:
+			return nil, fmt.Errorf("usagetrace: channel %q declares %d stages but usage declares %d",
+				ch, stages, rd.stages)
+		default:
+			for _, have := range rd.channels {
+				if have == ch {
+					return nil, fmt.Errorf("usagetrace: corrupt channel table: duplicate %q channel", ch)
+				}
+			}
+			if ch == ChannelLatchValue {
+				rd.hasLatchValue = true
+			}
+		}
+		rd.channels = append(rd.channels, ch)
+	}
+	rd.u.BackLatch = make([]int, rd.stages)
+	if rd.hasLatchValue {
+		rd.u.BackLatchNewVal = make([]int, rd.stages)
+	}
 	return rd, nil
 }
 
@@ -363,6 +532,10 @@ func (r *Reader) Name() string { return r.name }
 // BackLatchStages returns the machine's gatable back-end latch stage
 // count (the fixed BackLatch slice length).
 func (r *Reader) BackLatchStages() int { return r.stages }
+
+// Channels returns the trace's channel table, usage first. v1 streams
+// report the implicit usage-only table.
+func (r *Reader) Channels() []string { return r.channels }
 
 // Next decodes the next cycle: its issue events (in capture order) and
 // its usage vector. Both point into buffers reused by the following Next.
@@ -444,6 +617,15 @@ func (r *Reader) Next() ([]cpu.IssueEvent, *cpu.Usage, error) {
 			return nil, nil, fmt.Errorf("usagetrace: truncated usage at cycle %d: %w", r.cycle, err)
 		}
 		u.BackLatch[s] = int(v)
+	}
+	if r.hasLatchValue {
+		for s := range u.BackLatchNewVal {
+			v, err := binary.ReadUvarint(r.r)
+			if err != nil {
+				return nil, nil, fmt.Errorf("usagetrace: truncated latchvalue at cycle %d: %w", r.cycle, err)
+			}
+			u.BackLatchNewVal[s] = int(v)
+		}
 	}
 
 	r.cycle++

@@ -194,7 +194,44 @@ func (g *Generator) Next() (trace.DynInst, bool) {
 			g.lastIntDst = d.Inst.Dst
 		}
 	}
+	d.Value = g.valueFor(&d)
 	return d, true
+}
+
+// valueFor synthesizes the architectural value the instruction carries
+// down the pipeline (trace.DynInst.Value). Memory and control
+// instructions carry their real resolved EA/target, mirroring the emu
+// front end; computed results are modeled: a pure hash of the
+// instruction's dynamic identity, mapped to a low-entropy distribution
+// (three quarters of results collapse onto the common values real
+// programs produce in bulk — zeros, flags, small counters — the rest
+// are full-width). The mapping deliberately does NOT consume g.rng:
+// one extra draw per instruction would perturb every instruction
+// stream and invalidate all existing golden runs.
+func (g *Generator) valueFor(d *trace.DynInst) uint64 {
+	switch {
+	case d.Inst.Class().IsMem():
+		return d.EA
+	case d.Inst.Class().IsCtrl():
+		return d.Target
+	case !d.Inst.Op.HasDst():
+		return 0
+	}
+	h := mix64(d.PC*0x9E3779B97F4A7C15 + d.Seq*0xBF58476D1CE4E5B9)
+	if h&3 != 3 {
+		return (h >> 2) & 1
+	}
+	return h
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed bijection.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
 }
 
 // resolveTerminator decides the control transfer and advances the walk.
