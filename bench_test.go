@@ -14,6 +14,7 @@
 package dcg_test
 
 import (
+	"context"
 	"testing"
 
 	"dcg/internal/config"
@@ -21,6 +22,7 @@ import (
 	"dcg/internal/cpu"
 	"dcg/internal/experiments"
 	"dcg/internal/mem"
+	"dcg/internal/simrun"
 	"dcg/internal/trace"
 	"dcg/internal/usagetrace"
 	"dcg/internal/workload"
@@ -477,5 +479,38 @@ func BenchmarkReplayScalarDDCG(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(100*results[0].Saving, "ddcg-save%")
+	}
+}
+
+// BenchmarkExecReplayUntraced drives the executor's replay-serving path
+// with tracing disabled — the configuration every deployment runs until
+// a tracer is attached. The two keys alternate through a result memo of
+// one entry, so every op misses the memo and is answered by replaying
+// the shared timing capture through Exec.Do's full span-instrumented
+// path. CI gates this benchmark's allocs/op against the committed
+// baseline: span instrumentation must stay free when no span is in the
+// context.
+func BenchmarkExecReplayUntraced(b *testing.B) {
+	exec := simrun.NewExec(1, 0)
+	ctx := context.Background()
+	warm := simrun.Key{Bench: "swim", Scheme: core.SchemeDCG, Insts: benchInsts}
+	if _, _, err := exec.Do(ctx, warm); err != nil {
+		b.Fatal(err)
+	}
+	keys := [2]simrun.Key{
+		{Bench: "swim", Scheme: core.SchemeNone, Insts: benchInsts},
+		{Bench: "swim", Scheme: core.SchemeOracle, Insts: benchInsts},
+	}
+	// One replay outside the timer performs the one-time columnar decode,
+	// so the timed ops measure steady-state replay cost only.
+	if _, _, err := exec.Do(ctx, keys[1]); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := exec.Do(ctx, keys[i%2]); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

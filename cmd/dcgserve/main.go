@@ -7,7 +7,8 @@
 //	dcgserve [-addr :8080] [-workers N] [-cache 1024] [-timing-cache 16]
 //	         [-default-insts 300000] [-max-insts 5000000] [-timeout 60s]
 //	         [-log-level info] [-log-format text] [-pprof] [-enable-trace]
-//	         [-store-dir DIR] [-store-max-bytes N] [-sweep-dir DIR] [-version]
+//	         [-store-dir DIR] [-store-max-bytes N] [-sweep-dir DIR]
+//	         [-trace-spans 4096] [-trace-slow-ms 0] [-version]
 //
 // Try it:
 //
@@ -68,6 +69,8 @@ func main() {
 		storeDir     = flag.String("store-dir", "", "persistent artifact store directory (restart-warm cache; empty = memory only)")
 		storeMax     = flag.Int64("store-max-bytes", 0, "evict least-recently-used store artifacts above this size (0 = unbounded)")
 		sweepDir     = flag.String("sweep-dir", "", "sweep job directory; mounts the /v1/sweeps API (empty = disabled)")
+		traceSpans   = flag.Int("trace-spans", obs.DefaultSpanCapacity, "finished request/stage spans retained for /v1/traces (0 = tracing off)")
+		traceSlowMS  = flag.Int("trace-slow-ms", 0, "log spans slower than this many milliseconds at warn (0 = off)")
 		version      = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
@@ -94,6 +97,12 @@ func main() {
 		logger.Info("artifact store open", "dir", *storeDir, "max_bytes", *storeMax)
 	}
 
+	var tracer *obs.Tracer
+	if *traceSpans > 0 {
+		tracer = obs.NewTracer(*traceSpans)
+		tracer.SetSlowThreshold(time.Duration(*traceSlowMS) * time.Millisecond)
+	}
+
 	srv := server.New(server.Config{
 		Workers:         *workers,
 		CacheSize:       *cacheSize,
@@ -106,6 +115,7 @@ func main() {
 		EnableTrace:     *traceOn,
 		Store:           artifacts,
 		SweepDir:        *sweepDir,
+		Tracer:          tracer,
 	})
 
 	httpSrv := &http.Server{
@@ -119,7 +129,7 @@ func main() {
 		v, rev := obs.BuildInfo()
 		logger.Info("dcgserve listening", "addr", *addr, "version", v,
 			"revision", rev, "pprof", *pprofOn, "trace", *traceOn,
-			"sweeps", *sweepDir != "")
+			"sweeps", *sweepDir != "", "spans", *traceSpans)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

@@ -15,10 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
+	"time"
 
 	"dcg/internal/config"
 	"dcg/internal/core"
@@ -43,6 +46,8 @@ func main() {
 		traceOut    = flag.String("trace-out", "", "write pipeline telemetry as Chrome trace-event JSON (Perfetto-viewable); single -bench and -scheme")
 		traceCSV    = flag.String("trace-csv", "", "write pipeline telemetry as per-window CSV; single -bench and -scheme")
 		traceWindow = flag.Uint64("trace-window", obs.DefaultTraceWindow, "telemetry sample window in cycles")
+		spanOut     = flag.String("span-out", "", "write capture/replay/full-run spans as JSONL to this file (same span model as the service's /v1/traces)")
+		spanSlowMS  = flag.Int("span-slow-ms", 0, "report spans slower than this many milliseconds on stderr (0 = off)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap (allocation) profile to this file on exit")
@@ -54,9 +59,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "dcgsim:", err)
 		os.Exit(2)
 	}
-	// exit flushes the profiles before terminating; every path below must
-	// leave through it (os.Exit skips deferred calls).
+	// Span tracing (the batch CLI's view of the service's span model):
+	// one root span per benchmark, child spans per capture/replay/full
+	// run, exported as JSONL on exit. Off unless -span-out is given.
+	var tracer *obs.Tracer
+	if *spanOut != "" {
+		tracer = obs.NewTracer(0)
+		tracer.SetSlowThreshold(time.Duration(*spanSlowMS) * time.Millisecond)
+		tracer.SetLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	}
+	writeSpans := func() {
+		if tracer == nil {
+			return
+		}
+		out, err := os.Create(*spanOut)
+		if err == nil {
+			err = obs.WriteSpansJSONL(out, tracer.Spans(obs.SpanFilter{}))
+			if cerr := out.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcgsim: writing -span-out:", err)
+		}
+	}
+
+	// exit flushes the profiles and spans before terminating; every path
+	// below must leave through it (os.Exit skips deferred calls).
 	exit := func(code int) {
+		writeSpans()
 		if err := stopProf(); err != nil {
 			fmt.Fprintln(os.Stderr, "dcgsim:", err)
 		}
@@ -146,7 +177,16 @@ func main() {
 		headers...)
 	var savings []float64
 	for _, name := range names {
-		results, err := runSchemes(sim, name, kinds, *n)
+		bctx := context.Background()
+		var bsp *obs.Span
+		if tracer != nil {
+			bctx, bsp = tracer.StartRoot(bctx, "sim.bench")
+			bsp.SetAttr("bench", name)
+			bsp.SetAttrInt("insts", int64(*n))
+		}
+		results, err := runSchemes(bctx, sim, name, kinds, *n)
+		bsp.SetError(err)
+		bsp.Finish()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dcgsim: %s: %v\n", name, err)
 			exit(1)
@@ -197,7 +237,7 @@ func schemeNames() string {
 	return strings.Join(names, ", ")
 }
 
-func runSchemes(sim *core.Simulator, bench string, kinds []core.SchemeKind, n uint64) ([]*core.Result, error) {
+func runSchemes(ctx context.Context, sim *core.Simulator, bench string, kinds []core.SchemeKind, n uint64) ([]*core.Result, error) {
 	var neutralKinds []core.SchemeKind
 	for _, k := range kinds {
 		if core.TimingNeutral(k) {
@@ -208,11 +248,20 @@ func runSchemes(sim *core.Simulator, bench string, kinds []core.SchemeKind, n ui
 	if len(neutralKinds) >= 2 {
 		// The capture records the union of the trace channels the
 		// requested schemes need (e.g. latchvalue for the ddcg family).
+		_, csp := obs.StartSpan(ctx, "sim.capture")
+		csp.SetAttrInt("schemes", int64(len(neutralKinds)))
 		tm, err := sim.CaptureBenchmark(bench, n, core.ChannelUnion(neutralKinds...)...)
+		csp.SetError(err)
+		csp.Finish()
 		if err != nil {
 			return nil, err
 		}
+		_, rsp := obs.StartSpan(ctx, "sim.replay")
+		rsp.SetAttr("engine", "fused")
+		rsp.SetAttrInt("schemes", int64(len(neutralKinds)))
 		fused, err := sim.EvaluateTimingAll(tm, neutralKinds)
+		rsp.SetError(err)
+		rsp.Finish()
 		if err != nil {
 			return nil, err
 		}
@@ -228,7 +277,11 @@ func runSchemes(sim *core.Simulator, bench string, kinds []core.SchemeKind, n ui
 		if out[i] != nil {
 			continue
 		}
+		_, fsp := obs.StartSpan(ctx, "sim.full")
+		fsp.SetAttr("scheme", k.String())
 		res, err := sim.RunBenchmark(bench, k, n)
+		fsp.SetError(err)
+		fsp.Finish()
 		if err != nil {
 			return nil, fmt.Errorf("%v: %w", k, err)
 		}

@@ -26,7 +26,9 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"dcg/internal/obs"
 	"dcg/internal/simrun"
@@ -47,35 +49,88 @@ options:`)
 
 // runFlags are the options shared by run and resume.
 type runFlags struct {
-	fs         *flag.FlagSet
-	spec       *string
-	dir        *string
-	workers    *int
-	retries    *int
-	storeDir   *string
-	storeMax   *int64
-	verbose    *bool
-	cpuprofile *string
-	memprofile *string
+	fs          *flag.FlagSet
+	spec        *string
+	dir         *string
+	workers     *int
+	retries     *int
+	storeDir    *string
+	storeMax    *int64
+	verbose     *bool
+	logLevel    *string
+	logFormat   *string
+	traceSpans  *int
+	traceSlowMS *int
+	traceOut    *string
+	cpuprofile  *string
+	memprofile  *string
+
+	tracer *obs.Tracer // built by engine() when span tracing is enabled
 }
 
 func newRunFlags(name string) *runFlags {
 	fs := flag.NewFlagSet(name, flag.ExitOnError)
 	f := &runFlags{
-		fs:         fs,
-		dir:        fs.String("dir", "", "job directory (spec, manifest and results live here)"),
-		workers:    fs.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)"),
-		retries:    fs.Int("retries", 1, "re-attempts per failed item"),
-		storeDir:   fs.String("store-dir", "", "persistent artifact store directory (shared with dcgserve)"),
-		storeMax:   fs.Int64("store-max-bytes", 0, "evict least-recently-used store artifacts above this size (0 = unbounded)"),
-		verbose:    fs.Bool("v", false, "log per-item progress"),
-		cpuprofile: fs.String("cpuprofile", "", "write a CPU profile to this file"),
-		memprofile: fs.String("memprofile", "", "write a heap (allocation) profile to this file on exit"),
+		fs:          fs,
+		dir:         fs.String("dir", "", "job directory (spec, manifest and results live here)"),
+		workers:     fs.Int("workers", 0, "max concurrent simulations (0 = GOMAXPROCS)"),
+		retries:     fs.Int("retries", 1, "re-attempts per failed item"),
+		storeDir:    fs.String("store-dir", "", "persistent artifact store directory (shared with dcgserve)"),
+		storeMax:    fs.Int64("store-max-bytes", 0, "evict least-recently-used store artifacts above this size (0 = unbounded)"),
+		verbose:     fs.Bool("v", false, "log per-item progress (shorthand for -log-level info)"),
+		logLevel:    fs.String("log-level", "", "log verbosity: debug, info, warn, error (default warn; info with -v)"),
+		logFormat:   fs.String("log-format", "text", "log encoding: text or json"),
+		traceSpans:  fs.Int("trace-spans", 0, "retain up to this many finished spans for -trace-out (0 = tracing off)"),
+		traceSlowMS: fs.Int("trace-slow-ms", 0, "log spans slower than this many milliseconds at warn (0 = off)"),
+		traceOut:    fs.String("trace-out", "", "write the job's spans as JSONL to this file on exit (implies tracing)"),
+		cpuprofile:  fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		memprofile:  fs.String("memprofile", "", "write a heap (allocation) profile to this file on exit"),
 	}
 	if name == "run" {
 		f.spec = fs.String("spec", "", "sweep spec JSON file (required)")
 	}
 	return f
+}
+
+// logger builds the process logger. -log-level wins when set; otherwise
+// the historical behaviour holds: warn, or info under -v.
+func (f *runFlags) logger() (*slog.Logger, error) {
+	level := slog.LevelWarn
+	if *f.verbose {
+		level = slog.LevelInfo
+	}
+	if *f.logLevel != "" {
+		if err := level.UnmarshalText([]byte(*f.logLevel)); err != nil {
+			return nil, fmt.Errorf("bad -log-level %q (want debug, info, warn or error)", *f.logLevel)
+		}
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch strings.ToLower(*f.logFormat) {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", *f.logFormat)
+	}
+}
+
+// exportSpans writes the tracer's retained spans to -trace-out as JSONL.
+// No-op unless both tracing and the output path are configured.
+func (f *runFlags) exportSpans() {
+	if f.tracer == nil || *f.traceOut == "" {
+		return
+	}
+	out, err := os.Create(*f.traceOut)
+	if err == nil {
+		err = obs.WriteSpansJSONL(out, f.tracer.Spans(obs.SpanFilter{}))
+		if cerr := out.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcgsweep: writing -trace-out:", err)
+	}
 }
 
 // profiles starts the flagged CPU/heap profiles; the returned stop runs
@@ -86,11 +141,10 @@ func (f *runFlags) profiles() (func() error, error) {
 
 // engine assembles the sweep engine from the flags.
 func (f *runFlags) engine() (*sweep.Engine, error) {
-	level := slog.LevelWarn
-	if *f.verbose {
-		level = slog.LevelInfo
+	log, err := f.logger()
+	if err != nil {
+		return nil, err
 	}
-	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	exec := simrun.NewExec(0, 0)
 	if *f.storeDir != "" {
 		st, err := store.Open(*f.storeDir, *f.storeMax, log)
@@ -99,11 +153,20 @@ func (f *runFlags) engine() (*sweep.Engine, error) {
 		}
 		exec.Store = st
 	}
+	if spans := *f.traceSpans; spans > 0 || *f.traceOut != "" {
+		if spans <= 0 {
+			spans = obs.DefaultSpanCapacity
+		}
+		f.tracer = obs.NewTracer(spans)
+		f.tracer.SetLogger(log)
+		f.tracer.SetSlowThreshold(time.Duration(*f.traceSlowMS) * time.Millisecond)
+	}
 	return &sweep.Engine{
 		Exec:    exec,
 		Workers: *f.workers,
 		Retries: *f.retries,
 		Log:     log,
+		Tracer:  f.tracer,
 	}, nil
 }
 
@@ -171,6 +234,7 @@ func cmdRun(args []string) int {
 		return 2
 	}
 	sum, err := eng.Start(signalContext(), spec, *f.dir)
+	f.exportSpans()
 	if errors.Is(err, sweep.ErrExists) {
 		fmt.Fprintf(os.Stderr, "dcgsweep: %s already has a manifest; use `dcgsweep resume -dir %s`\n", *f.dir, *f.dir)
 		return 2
@@ -201,6 +265,7 @@ func cmdResume(args []string) int {
 		return 2
 	}
 	sum, err := eng.Resume(signalContext(), *f.dir)
+	f.exportSpans()
 	return report(sum, err)
 }
 

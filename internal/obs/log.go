@@ -19,6 +19,8 @@ type ctxKey int
 const (
 	loggerKey ctxKey = iota
 	requestIDKey
+	spanKey         // *Span (trace.go)
+	remoteParentKey // remoteParent extracted from a traceparent header
 )
 
 // WithLogger returns a context carrying the logger.

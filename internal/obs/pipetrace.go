@@ -178,9 +178,17 @@ type traceEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
 	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"` // complete ("X") events only
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTraceFile is the document envelope both Chrome trace exporters
+// (pipeline telemetry and span tracing) encode.
+type chromeTraceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
 // tracePid is the process ID all events carry (one traced process).

@@ -1,9 +1,11 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -157,5 +159,76 @@ func TestRegistrationOrderIsStable(t *testing.T) {
 	out := scrape(t, r)
 	if strings.Index(out, "zz_total") > strings.Index(out, "aa_total") {
 		t.Error("families not rendered in registration order")
+	}
+}
+
+func TestExpositionIsDeterministic(t *testing.T) {
+	// Two scrapes of a quiesced registry must agree byte-for-byte,
+	// including the ordering of labeled series inside each family —
+	// scrape-diffing tools and golden tests depend on it.
+	r := NewRegistry()
+	v := r.CounterVec("det_total", "d", "route")
+	for _, route := range []string{"/z", "/a", "/m", "/b"} {
+		v.With(route).Inc()
+	}
+	h := r.HistogramVec("det_seconds", "d", []float64{1, 10}, "mode")
+	h.With("full").Observe(0.5)
+	h.With("replay").Observe(2)
+
+	first := scrape(t, r)
+	for i := 0; i < 5; i++ {
+		if got := scrape(t, r); got != first {
+			t.Fatalf("scrape %d differs from the first:\n--- first\n%s\n--- got\n%s", i, first, got)
+		}
+	}
+}
+
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	// Hammer every instrument kind while scraping; run under -race this
+	// doubles as the registry's concurrency contract test.
+	r := NewRegistry()
+	c := r.Counter("conc_total", "c")
+	g := r.Gauge("conc_gauge", "g")
+	cv := r.CounterVec("conc_served_total", "cv", "src")
+	hv := r.HistogramVec("conc_dur_seconds", "hv", []float64{0.01, 0.1, 1}, "mode")
+
+	const writers = 8
+	const perWriter = 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := []string{"cache", "store", "replayed"}[w%3]
+			for i := 0; i < perWriter; i++ {
+				c.Inc()
+				g.Add(1)
+				cv.With(src).Inc()
+				hv.With("full").Observe(float64(i) / perWriter)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Errorf("concurrent WritePrometheus: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	out := scrape(t, r)
+	want := fmt.Sprintf("conc_total %d", writers*perWriter)
+	if !strings.Contains(out, want+"\n") {
+		t.Errorf("final exposition missing %q:\n%s", want, out)
+	}
+	wantH := fmt.Sprintf(`conc_dur_seconds_count{mode="full"} %d`, writers*perWriter)
+	if !strings.Contains(out, wantH+"\n") {
+		t.Errorf("final exposition missing %q", wantH)
 	}
 }

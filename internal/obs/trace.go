@@ -1,0 +1,570 @@
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand/v2"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span tracing: a dependency-free reproduction of the usual distributed-
+// tracing span model (OpenTelemetry-shaped, W3C traceparent on the wire),
+// sized for this service. One Tracer per process holds a bounded ring of
+// finished spans; the serving layer roots one span per HTTP request, the
+// executor and store add child spans per stage, and the sweep engine adds
+// one span per DAG item. Because propagation is the standard traceparent
+// header, a span tree will survive the planned coordinator→worker HTTP
+// hop unchanged.
+//
+// The disabled path is free: StartSpan on a context without a span
+// returns a nil *Span, and every Span method is a nil-receiver no-op, so
+// instrumented code runs with zero allocations until a tracer is wired
+// in. Hot loops (the replay kernels) are below this layer and are never
+// instrumented per-cycle.
+
+// TraceID identifies one causal tree of spans (16 bytes, hex on the wire).
+type TraceID [16]byte
+
+// SpanID identifies one span within a trace (8 bytes, hex on the wire).
+type SpanID [8]byte
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// String renders the ID as 32 lowercase hex digits.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// IsZero reports whether the ID is the invalid all-zero value.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the ID as 16 lowercase hex digits.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// ParseTraceID parses 32 hex digits; the all-zero ID is invalid per W3C.
+func ParseTraceID(s string) (TraceID, error) {
+	var id TraceID
+	if len(s) != 2*len(id) {
+		return id, fmt.Errorf("trace id %q: want %d hex digits", s, 2*len(id))
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return TraceID{}, fmt.Errorf("trace id %q: %w", s, err)
+	}
+	if id.IsZero() {
+		return id, fmt.Errorf("trace id %q: all-zero", s)
+	}
+	return id, nil
+}
+
+// ParseSpanID parses 16 hex digits; the all-zero ID is invalid per W3C.
+func ParseSpanID(s string) (SpanID, error) {
+	var id SpanID
+	if len(s) != 2*len(id) {
+		return id, fmt.Errorf("span id %q: want %d hex digits", s, 2*len(id))
+	}
+	if _, err := hex.Decode(id[:], []byte(s)); err != nil {
+		return SpanID{}, fmt.Errorf("span id %q: %w", s, err)
+	}
+	if id.IsZero() {
+		return id, fmt.Errorf("span id %q: all-zero", s)
+	}
+	return id, nil
+}
+
+// Attr is one span attribute. Values are strings; the typed setters
+// convert, since attribute cardinality here is per-span, not per-series.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// SpanEvent is a timestamped point annotation inside a span (a retry, a
+// decode, a cancellation).
+type SpanEvent struct {
+	Name  string    `json:"name"`
+	Time  time.Time `json:"time"`
+	Attrs []Attr    `json:"attrs,omitempty"`
+}
+
+// Span is one timed operation. Exported fields are written by the owning
+// goroutine between Start and Finish and must not be mutated afterwards;
+// the Tracer hands out finished spans read-only.
+type Span struct {
+	tracer *Tracer
+
+	TraceID TraceID
+	ID      SpanID
+	Parent  SpanID // zero for root spans (or remote parents)
+	Name    string
+	Start   time.Time
+	End     time.Time
+	Attrs   []Attr
+	Events  []SpanEvent
+	Err     string
+}
+
+// Duration is End-Start for a finished span.
+func (s *Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// SetAttr records a string attribute. Nil-safe no-op.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: value})
+}
+
+// SetAttrInt records an integer attribute. Nil-safe no-op.
+func (s *Span) SetAttrInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: strconv.FormatInt(v, 10)})
+}
+
+// SetAttrBool records a boolean attribute. Nil-safe no-op.
+func (s *Span) SetAttrBool(key string, v bool) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Value: strconv.FormatBool(v)})
+}
+
+// AddEvent records a point-in-time event on the span. Nil-safe no-op.
+func (s *Span) AddEvent(name string, attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.Events = append(s.Events, SpanEvent{Name: name, Time: time.Now(), Attrs: attrs})
+}
+
+// SetError marks the span failed. A nil error (or nil span) is a no-op,
+// so callers can write SetError(err) unconditionally on exit paths.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.Err = err.Error()
+}
+
+// Finish stamps the end time and hands the span to its tracer's ring.
+// Nil-safe no-op; finishing twice is a bug the ring does not defend
+// against (the span would be resident twice).
+func (s *Span) Finish() {
+	if s == nil {
+		return
+	}
+	s.End = time.Now()
+	s.tracer.finish(s)
+}
+
+// Tracer mints spans and retains the most recent finished ones in a
+// bounded ring. All methods are safe for concurrent use; a nil *Tracer
+// is a valid disabled tracer.
+type Tracer struct {
+	capacity int
+	slow     atomic.Int64 // slow-span threshold in nanoseconds; 0 = off
+	log      atomic.Pointer[slog.Logger]
+
+	started  atomic.Uint64
+	finished atomic.Uint64
+	dropped  atomic.Uint64 // finished spans evicted before being read
+
+	mu   sync.Mutex
+	ring []*Span // ring[next] is the oldest once len == capacity
+	next int
+}
+
+// DefaultSpanCapacity is the finished-span ring size when the caller
+// passes capacity <= 0. At typical span sizes this is a few MB — enough
+// to hold several complete sweep jobs.
+const DefaultSpanCapacity = 4096
+
+// NewTracer builds a tracer retaining up to capacity finished spans
+// (<= 0 selects DefaultSpanCapacity).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &Tracer{capacity: capacity, ring: make([]*Span, 0, capacity)}
+}
+
+// SetSlowThreshold enables slow-span logging: finished spans at or above
+// d are logged at Warn through the logger given to SetLogger. Zero
+// disables. Nil-safe.
+func (t *Tracer) SetSlowThreshold(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.slow.Store(int64(d))
+}
+
+// SetLogger sets the logger used for slow-span reports. Nil-safe.
+func (t *Tracer) SetLogger(lg *slog.Logger) {
+	if t == nil || lg == nil {
+		return
+	}
+	t.log.Store(lg)
+}
+
+// Register exposes the tracer's span accounting on a metrics registry.
+func (t *Tracer) Register(reg *Registry) {
+	if t == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("dcg_trace_spans_started_total",
+		"Spans started by the tracer.",
+		func() float64 { return float64(t.started.Load()) })
+	reg.CounterFunc("dcg_trace_spans_finished_total",
+		"Spans finished and retained (until evicted) in the span ring.",
+		func() float64 { return float64(t.finished.Load()) })
+	reg.CounterFunc("dcg_trace_spans_dropped_total",
+		"Finished spans evicted from the bounded span ring to admit newer ones.",
+		func() float64 { return float64(t.dropped.Load()) })
+	reg.GaugeFunc("dcg_trace_spans_resident",
+		"Finished spans currently resident in the span ring.",
+		func() float64 {
+			t.mu.Lock()
+			n := len(t.ring)
+			t.mu.Unlock()
+			return float64(n)
+		})
+}
+
+// newTraceID mints a random non-zero trace ID. math/rand/v2's global
+// generator is seeded per-process and safe for concurrent use; trace IDs
+// need uniqueness, not unpredictability.
+func newTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		hi, lo := rand.Uint64(), rand.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(hi >> (8 * i))
+			id[8+i] = byte(lo >> (8 * i))
+		}
+	}
+	return id
+}
+
+// newSpanID mints a random non-zero span ID.
+func newSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		v := rand.Uint64()
+		for i := 0; i < 8; i++ {
+			id[i] = byte(v >> (8 * i))
+		}
+	}
+	return id
+}
+
+func (t *Tracer) newSpan(name string, trace TraceID, parent SpanID) *Span {
+	t.started.Add(1)
+	return &Span{
+		tracer:  t,
+		TraceID: trace,
+		ID:      newSpanID(),
+		Parent:  parent,
+		Name:    name,
+		Start:   time.Now(),
+	}
+}
+
+// StartRoot begins a new trace (or continues a remote one when the
+// context carries an extracted traceparent) and returns a context with
+// the root span attached. A nil tracer returns (ctx, nil) untouched.
+func (t *Tracer) StartRoot(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	trace := newTraceID()
+	var parent SpanID
+	if rp, ok := ctx.Value(remoteParentKey).(remoteParent); ok {
+		trace, parent = rp.trace, rp.span
+	}
+	sp := t.newSpan(name, trace, parent)
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// finish retains a finished span in the ring, evicting the oldest when
+// full, and reports it when it crosses the slow threshold.
+func (t *Tracer) finish(s *Span) {
+	if t == nil {
+		return
+	}
+	t.finished.Add(1)
+	if slow := t.slow.Load(); slow > 0 && s.End.Sub(s.Start) >= time.Duration(slow) {
+		if lg := t.log.Load(); lg != nil {
+			lg.Warn("trace: slow span",
+				"span", s.Name,
+				"trace", s.TraceID.String(),
+				"span_id", s.ID.String(),
+				"elapsed_ms", float64(s.End.Sub(s.Start).Microseconds())/1000,
+				"threshold_ms", float64(time.Duration(slow).Microseconds())/1000)
+		}
+	}
+	t.mu.Lock()
+	if len(t.ring) < t.capacity {
+		t.ring = append(t.ring, s)
+	} else {
+		t.ring[t.next] = s
+		t.next = (t.next + 1) % t.capacity
+		t.dropped.Add(1)
+	}
+	t.mu.Unlock()
+}
+
+// SpanFilter selects spans from the ring. The zero value selects
+// everything.
+type SpanFilter struct {
+	Trace TraceID // non-zero: only spans of this trace
+	Limit int     // > 0: at most this many spans, newest retained
+}
+
+// Spans snapshots finished spans matching the filter, ordered oldest to
+// newest by finish order. Nil-safe (returns nil).
+func (t *Tracer) Spans(f SpanFilter) []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	// Reassemble finish order: ring[next:] is oldest when the ring has
+	// wrapped, ring[:next] newest.
+	out := make([]*Span, 0, len(t.ring))
+	if len(t.ring) == t.capacity {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	t.mu.Unlock()
+	if !f.Trace.IsZero() {
+		kept := out[:0]
+		for _, s := range out {
+			if s.TraceID == f.Trace {
+				kept = append(kept, s)
+			}
+		}
+		out = kept
+	}
+	if f.Limit > 0 && len(out) > f.Limit {
+		out = out[len(out)-f.Limit:]
+	}
+	return out
+}
+
+// Context propagation.
+
+type remoteParent struct {
+	trace TraceID
+	span  SpanID
+}
+
+// ContextWithSpan returns a context carrying the span; StartSpan parents
+// new spans under it.
+func ContextWithSpan(ctx context.Context, s *Span) context.Context {
+	return context.WithValue(ctx, spanKey, s)
+}
+
+// SpanFromContext returns the context's active span, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx != nil {
+		if s, ok := ctx.Value(spanKey).(*Span); ok {
+			return s
+		}
+	}
+	return nil
+}
+
+// StartSpan begins a child of the context's active span. When the
+// context carries no span (tracing disabled, or an uninstrumented entry
+// point) it returns (ctx, nil) without allocating; every *Span method
+// tolerates the nil, so call sites need no guards.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	parent := SpanFromContext(ctx)
+	if parent == nil || parent.tracer == nil {
+		return ctx, nil
+	}
+	sp := parent.tracer.newSpan(name, parent.TraceID, parent.ID)
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// TraceIDFromContext returns the active span's trace ID as a string, or
+// "" — the log-annotation companion to RequestID.
+func TraceIDFromContext(ctx context.Context) string {
+	if s := SpanFromContext(ctx); s != nil {
+		return s.TraceID.String()
+	}
+	return ""
+}
+
+// W3C trace context (traceparent) wire propagation. Format:
+//
+//	traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// Only version 00 is emitted; any version except the reserved ff is
+// accepted, per the spec's forward-compatibility rule.
+
+// TraceparentHeader is the W3C trace-context header name.
+const TraceparentHeader = "traceparent"
+
+// Inject writes the context's active span as a traceparent header, so an
+// outbound HTTP request continues the trace on the far side. No-op when
+// the context has no span.
+func Inject(ctx context.Context, h http.Header) {
+	s := SpanFromContext(ctx)
+	if s == nil {
+		return
+	}
+	h.Set(TraceparentHeader, "00-"+s.TraceID.String()+"-"+s.ID.String()+"-01")
+}
+
+// Extract parses an inbound traceparent header into a context marker
+// that the next StartRoot continues (same trace ID, remote parent span).
+// Returns ctx unchanged when the header is absent or malformed —
+// propagation is best-effort by design.
+func Extract(ctx context.Context, h http.Header) context.Context {
+	raw := h.Get(TraceparentHeader)
+	if raw == "" {
+		return ctx
+	}
+	// version(2) - traceid(32) - spanid(16) - flags(2)
+	if len(raw) != 55 || raw[2] != '-' || raw[35] != '-' || raw[52] != '-' {
+		return ctx
+	}
+	if raw[0:2] == "ff" {
+		return ctx
+	}
+	if _, err := hex.DecodeString(raw[0:2]); err != nil {
+		return ctx
+	}
+	trace, err := ParseTraceID(raw[3:35])
+	if err != nil {
+		return ctx
+	}
+	span, err := ParseSpanID(raw[36:52])
+	if err != nil {
+		return ctx
+	}
+	if _, err := hex.DecodeString(raw[53:55]); err != nil {
+		return ctx
+	}
+	return context.WithValue(ctx, remoteParentKey, remoteParent{trace: trace, span: span})
+}
+
+// Exporters.
+
+// spanJSON is the JSONL wire form of a finished span.
+type spanJSON struct {
+	TraceID    string      `json:"trace_id"`
+	SpanID     string      `json:"span_id"`
+	ParentID   string      `json:"parent_id,omitempty"`
+	Name       string      `json:"name"`
+	Start      time.Time   `json:"start"`
+	End        time.Time   `json:"end"`
+	DurationMS float64     `json:"duration_ms"`
+	Attrs      []Attr      `json:"attrs,omitempty"`
+	Events     []SpanEvent `json:"events,omitempty"`
+	Err        string      `json:"error,omitempty"`
+}
+
+func spanView(s *Span) spanJSON {
+	v := spanJSON{
+		TraceID:    s.TraceID.String(),
+		SpanID:     s.ID.String(),
+		Name:       s.Name,
+		Start:      s.Start,
+		End:        s.End,
+		DurationMS: float64(s.Duration().Microseconds()) / 1000,
+		Attrs:      s.Attrs,
+		Events:     s.Events,
+		Err:        s.Err,
+	}
+	if !s.Parent.IsZero() {
+		v.ParentID = s.Parent.String()
+	}
+	return v
+}
+
+// MarshalJSON renders the span in its export form, so any JSON encoding
+// of spans (JSONL lines, the /v1/traces response) agrees byte-for-byte.
+func (s *Span) MarshalJSON() ([]byte, error) {
+	return json.Marshal(spanView(s))
+}
+
+// WriteSpansJSONL writes one JSON object per span, one per line — the
+// grep/jq-friendly export.
+func WriteSpansJSONL(w io.Writer, spans []*Span) error {
+	enc := json.NewEncoder(w)
+	for _, s := range spans {
+		if err := enc.Encode(spanView(s)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSpansChromeTrace writes the spans as a Chrome trace-event JSON
+// document (chrome://tracing, Perfetto). It follows the same conventions
+// as the PipelineRecorder export: pid 1 with a process_name metadata
+// record first, and the {"traceEvents": ...} envelope. Each span becomes
+// one complete ("X") event; spans of the same trace share a tid so one
+// request or sweep renders as one row group.
+func WriteSpansChromeTrace(w io.Writer, spans []*Span) error {
+	events := make([]traceEvent, 0, len(spans)+1)
+	events = append(events, traceEvent{
+		Name: "process_name", Ph: "M", Pid: tracePid,
+		Args: map[string]any{"name": "dcg spans"},
+	})
+	// Stable tid per trace ID, numbered by first appearance so the export
+	// is deterministic for a given span slice.
+	tids := make(map[TraceID]int)
+	var epoch time.Time
+	for _, s := range spans {
+		if epoch.IsZero() || s.Start.Before(epoch) {
+			epoch = s.Start
+		}
+		if _, ok := tids[s.TraceID]; !ok {
+			tids[s.TraceID] = len(tids) + 1
+		}
+	}
+	for _, s := range spans {
+		args := map[string]any{
+			"trace_id": s.TraceID.String(),
+			"span_id":  s.ID.String(),
+		}
+		if !s.Parent.IsZero() {
+			args["parent_id"] = s.Parent.String()
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		if s.Err != "" {
+			args["error"] = s.Err
+		}
+		events = append(events, traceEvent{
+			Name: s.Name, Ph: "X",
+			Ts:  float64(s.Start.Sub(epoch).Microseconds()),
+			Dur: float64(s.Duration().Microseconds()),
+			Pid: tracePid, Tid: tids[s.TraceID],
+			Args: args,
+		})
+	}
+	// The metadata record stays first; order the X events by start time
+	// so the document is stable regardless of ring eviction order.
+	sort.SliceStable(events[1:], func(i, j int) bool {
+		return events[1+i].Ts < events[1+j].Ts
+	})
+	return json.NewEncoder(w).Encode(chromeTraceFile{
+		TraceEvents:     events,
+		DisplayTimeUnit: "ms",
+	})
+}

@@ -1,0 +1,326 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTreePropagation(t *testing.T) {
+	tr := NewTracer(16)
+	ctx, root := tr.StartRoot(context.Background(), "root")
+	if root == nil {
+		t.Fatal("StartRoot returned nil span")
+	}
+	if root.TraceID.IsZero() || root.ID.IsZero() {
+		t.Fatal("root has zero IDs")
+	}
+	if !root.Parent.IsZero() {
+		t.Fatalf("fresh root has parent %v", root.Parent)
+	}
+
+	cctx, child := StartSpan(ctx, "child")
+	if child == nil {
+		t.Fatal("StartSpan under a root returned nil")
+	}
+	if child.TraceID != root.TraceID {
+		t.Error("child not in the root's trace")
+	}
+	if child.Parent != root.ID {
+		t.Error("child not parented under root")
+	}
+	_, grand := StartSpan(cctx, "grandchild")
+	if grand.Parent != child.ID {
+		t.Error("grandchild not parented under child")
+	}
+
+	grand.Finish()
+	child.Finish()
+	root.Finish()
+	spans := tr.Spans(SpanFilter{})
+	if len(spans) != 3 {
+		t.Fatalf("ring holds %d spans, want 3", len(spans))
+	}
+	// Finish order: grandchild, child, root.
+	if spans[0].Name != "grandchild" || spans[2].Name != "root" {
+		t.Errorf("spans out of finish order: %s, %s, %s",
+			spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+}
+
+func TestStartSpanWithoutTracerIsFreeAndNilSafe(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "orphan")
+	if sp != nil {
+		t.Fatal("StartSpan on a bare context minted a span")
+	}
+	if ctx != context.Background() {
+		t.Error("disabled StartSpan changed the context")
+	}
+	// Every method must tolerate the nil receiver.
+	sp.SetAttr("k", "v")
+	sp.SetAttrInt("n", 1)
+	sp.SetAttrBool("b", true)
+	sp.AddEvent("e")
+	sp.SetError(errors.New("x"))
+	sp.Finish()
+
+	allocs := testing.AllocsPerRun(100, func() {
+		c, s := StartSpan(ctx, "hot")
+		s.SetAttr("k", "v")
+		s.Finish()
+		_ = c
+	})
+	if allocs != 0 {
+		t.Errorf("disabled StartSpan allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, sp := tr.StartRoot(context.Background(), "client")
+
+	h := http.Header{}
+	Inject(ctx, h)
+	raw := h.Get(TraceparentHeader)
+	want := "00-" + sp.TraceID.String() + "-" + sp.ID.String() + "-01"
+	if raw != want {
+		t.Fatalf("traceparent = %q, want %q", raw, want)
+	}
+
+	// The "server side": extract, then root a continuing span.
+	sctx := Extract(context.Background(), h)
+	_, srv := tr.StartRoot(sctx, "server")
+	if srv.TraceID != sp.TraceID {
+		t.Error("extracted root did not continue the trace ID")
+	}
+	if srv.Parent != sp.ID {
+		t.Error("extracted root not parented under the remote span")
+	}
+	sp.Finish()
+	srv.Finish()
+}
+
+func TestExtractRejectsMalformedHeaders(t *testing.T) {
+	tr := NewTracer(8)
+	for _, raw := range []string{
+		"",
+		"garbage",
+		"00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa-bbbbbbbbbbbbbbbb",    // missing flags
+		"ff-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa-bbbbbbbbbbbbbbbb-01", // reserved version
+		"00-00000000000000000000000000000000-bbbbbbbbbbbbbbbb-01", // zero trace
+		"00-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa-0000000000000000-01", // zero span
+		"00-zzzzzzzzzzzzzzzzzzzzzzzzzzzzzzzz-bbbbbbbbbbbbbbbb-01", // non-hex
+	} {
+		h := http.Header{}
+		if raw != "" {
+			h.Set(TraceparentHeader, raw)
+		}
+		_, sp := tr.StartRoot(Extract(context.Background(), h), "s")
+		if !sp.Parent.IsZero() {
+			t.Errorf("header %q was accepted (parent %v)", raw, sp.Parent)
+		}
+		sp.Finish()
+	}
+	// A non-00 (but non-ff) version must still parse, per the spec's
+	// forward-compatibility rule.
+	h := http.Header{}
+	h.Set(TraceparentHeader, "01-aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa-bbbbbbbbbbbbbbbb-01")
+	_, sp := tr.StartRoot(Extract(context.Background(), h), "s")
+	if sp.Parent.IsZero() {
+		t.Error("future-version traceparent rejected")
+	}
+	sp.Finish()
+}
+
+func TestRingEvictionCountsDrops(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		_, sp := tr.StartRoot(context.Background(), "s")
+		sp.SetAttrInt("i", int64(i))
+		sp.Finish()
+	}
+	spans := tr.Spans(SpanFilter{})
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d, want capacity 4", len(spans))
+	}
+	// Oldest-to-newest: the survivors are spans 6..9.
+	if got := spans[0].Attrs[0].Value; got != "6" {
+		t.Errorf("oldest resident = %s, want 6", got)
+	}
+	if got := spans[3].Attrs[0].Value; got != "9" {
+		t.Errorf("newest resident = %s, want 9", got)
+	}
+	if tr.dropped.Load() != 6 {
+		t.Errorf("dropped = %d, want 6", tr.dropped.Load())
+	}
+}
+
+func TestSpansFilterByTraceAndLimit(t *testing.T) {
+	tr := NewTracer(32)
+	ctxA, a := tr.StartRoot(context.Background(), "a")
+	for i := 0; i < 3; i++ {
+		_, sp := StartSpan(ctxA, "a.child")
+		sp.Finish()
+	}
+	a.Finish()
+	_, b := tr.StartRoot(context.Background(), "b")
+	b.Finish()
+
+	got := tr.Spans(SpanFilter{Trace: a.TraceID})
+	if len(got) != 4 {
+		t.Fatalf("trace filter returned %d spans, want 4", len(got))
+	}
+	for _, s := range got {
+		if s.TraceID != a.TraceID {
+			t.Errorf("span %s from wrong trace", s.Name)
+		}
+	}
+	if got := tr.Spans(SpanFilter{Limit: 2}); len(got) != 2 || got[1].Name != "b" {
+		t.Errorf("limit filter should keep the newest spans, got %d", len(got))
+	}
+}
+
+func TestSlowSpanLogging(t *testing.T) {
+	tr := NewTracer(8)
+	var buf bytes.Buffer
+	tr.SetLogger(slog.New(slog.NewTextHandler(&buf, nil)))
+	tr.SetSlowThreshold(time.Nanosecond)
+	_, sp := tr.StartRoot(context.Background(), "slowpoke")
+	time.Sleep(time.Millisecond)
+	sp.Finish()
+	out := buf.String()
+	if !strings.Contains(out, "slow span") || !strings.Contains(out, "slowpoke") {
+		t.Errorf("slow span not logged: %q", out)
+	}
+	if !strings.Contains(out, sp.TraceID.String()) {
+		t.Error("slow-span log missing the trace ID")
+	}
+}
+
+func TestWriteSpansJSONL(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, root := tr.StartRoot(context.Background(), "root")
+	_, child := StartSpan(ctx, "child")
+	child.SetAttr("k", "v")
+	child.SetError(errors.New("boom"))
+	child.Finish()
+	root.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteSpansJSONL(&buf, tr.Spans(SpanFilter{})); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d JSONL lines, want 2", len(lines))
+	}
+	var v struct {
+		TraceID  string `json:"trace_id"`
+		SpanID   string `json:"span_id"`
+		ParentID string `json:"parent_id"`
+		Name     string `json:"name"`
+		Err      string `json:"error"`
+		Attrs    []Attr `json:"attrs"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Name != "child" || v.ParentID != root.ID.String() || v.Err != "boom" {
+		t.Errorf("child line wrong: %+v", v)
+	}
+	if len(v.Attrs) != 1 || v.Attrs[0].Key != "k" {
+		t.Errorf("attrs not exported: %+v", v.Attrs)
+	}
+}
+
+func TestWriteSpansChromeTrace(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, root := tr.StartRoot(context.Background(), "root")
+	_, child := StartSpan(ctx, "child")
+	child.Finish()
+	root.Finish()
+	_, other := tr.StartRoot(context.Background(), "other")
+	other.Finish()
+
+	var buf bytes.Buffer
+	if err := WriteSpansChromeTrace(&buf, tr.Spans(SpanFilter{})); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if doc.TraceEvents[0].Ph != "M" || doc.TraceEvents[0].Name != "process_name" {
+		t.Error("process_name metadata record not first")
+	}
+	tids := map[string]int{}
+	for _, ev := range doc.TraceEvents[1:] {
+		if ev.Ph != "X" {
+			t.Errorf("event %s has phase %q, want X", ev.Name, ev.Ph)
+		}
+		tids[ev.Args["trace_id"].(string)] = ev.Tid
+	}
+	if len(tids) != 2 || tids[root.TraceID.String()] == tids[other.TraceID.String()] {
+		t.Errorf("traces not separated by tid: %v", tids)
+	}
+}
+
+func TestTracerMetricsRegistration(t *testing.T) {
+	tr := NewTracer(2)
+	reg := NewRegistry()
+	tr.Register(reg)
+	for i := 0; i < 3; i++ {
+		_, sp := tr.StartRoot(context.Background(), "s")
+		sp.Finish()
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"dcg_trace_spans_started_total 3",
+		"dcg_trace_spans_finished_total 3",
+		"dcg_trace_spans_dropped_total 1",
+		"dcg_trace_spans_resident 2",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilTracerIsDisabled(t *testing.T) {
+	var tr *Tracer
+	tr.SetSlowThreshold(time.Second)
+	tr.SetLogger(nil)
+	tr.Register(NewRegistry())
+	ctx, sp := tr.StartRoot(context.Background(), "x")
+	if sp != nil {
+		t.Fatal("nil tracer minted a span")
+	}
+	if got := tr.Spans(SpanFilter{}); got != nil {
+		t.Errorf("nil tracer returned spans: %v", got)
+	}
+	if TraceIDFromContext(ctx) != "" {
+		t.Error("nil tracer produced a trace ID")
+	}
+}

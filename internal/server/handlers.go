@@ -187,7 +187,11 @@ func (s *Server) routes() {
 		s.mux.HandleFunc("GET /v1/sweeps", s.instrumented("/v1/sweeps", s.handleSweepList))
 		s.mux.HandleFunc("GET /v1/sweeps/{id}", s.instrumented("/v1/sweeps/{id}", s.handleSweepStatus))
 		s.mux.HandleFunc("GET /v1/sweeps/{id}/results", s.instrumented("/v1/sweeps/{id}/results", s.handleSweepResults))
+		s.mux.HandleFunc("GET /v1/sweeps/{id}/progress", s.instrumented("/v1/sweeps/{id}/progress", s.handleSweepProgress))
 		s.mux.HandleFunc("DELETE /v1/sweeps/{id}", s.instrumented("/v1/sweeps/{id}", s.handleSweepCancel))
+	}
+	if s.tracer != nil {
+		s.mux.HandleFunc("GET /v1/traces", s.instrumented("/v1/traces", s.handleTraces))
 	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metricz", s.handleMetricz)
@@ -214,14 +218,26 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// spanlessRoutes are trace-introspection endpoints: they read the span
+// ring, so giving them root spans of their own would churn the very data
+// they serve. They keep their request metrics and access log.
+var spanlessRoutes = map[string]bool{
+	"/v1/traces":               true,
+	"/v1/sweeps/{id}/progress": true,
+}
+
 // instrumented wraps one route's handler with request identity and the
 // HTTP-layer metrics. Each request gets a process-unique ID (or keeps the
 // caller's X-Request-Id), echoed back in the response header and carried
 // through the context into simrun and the cycle core, so one request's
 // capture/replay/cache decisions can be traced end to end in the logs.
+// With a tracer attached, each request also gets a root span — continuing
+// an inbound W3C traceparent when one is present — whose trace ID is
+// echoed in X-Trace-Id and stamped on every log line.
 func (s *Server) instrumented(route string, h http.HandlerFunc) http.HandlerFunc {
 	reqs := s.m.requests.With(route)
 	dur := s.m.reqDur.With(route)
+	traced := s.tracer != nil && !spanlessRoutes[route]
 	return func(w http.ResponseWriter, r *http.Request) {
 		reqs.Inc()
 		id := r.Header.Get("X-Request-Id")
@@ -230,12 +246,25 @@ func (s *Server) instrumented(route string, h http.HandlerFunc) http.HandlerFunc
 		}
 		w.Header().Set("X-Request-Id", id)
 		lg := s.log.With("req", id)
-		ctx := obs.WithLogger(obs.WithRequestID(r.Context(), id), lg)
+		ctx := r.Context()
+		var sp *obs.Span
+		if traced {
+			ctx, sp = s.tracer.StartRoot(obs.Extract(ctx, r.Header), "http "+route)
+			sp.SetAttr("method", r.Method)
+			sp.SetAttr("route", route)
+			w.Header().Set("X-Trace-Id", sp.TraceID.String())
+			lg = lg.With("trace", sp.TraceID.String())
+		}
+		ctx = obs.WithLogger(obs.WithRequestID(ctx, id), lg)
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
 		h(sw, r.WithContext(ctx))
 		elapsed := time.Since(start)
 		dur.Observe(elapsed.Seconds())
+		if sp != nil {
+			sp.SetAttrInt("status", int64(sw.status))
+			sp.Finish()
+		}
 		if lg.Enabled(ctx, slog.LevelInfo) {
 			lg.LogAttrs(ctx, slog.LevelInfo, "http: request",
 				slog.String("method", r.Method),

@@ -152,12 +152,48 @@ func (s *Server) newInstruments() *instruments {
 	reg.GaugeFunc("go_goroutines", "Number of goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
 
+	// Runtime memory/GC gauges. ReadMemStats stops the world, so one
+	// throttled sampler feeds all four series instead of each gauge (or
+	// each scrape) paying that pause separately.
+	ms := &memStatsSampler{}
+	reg.GaugeFunc("go_memstats_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 { return float64(ms.get().HeapAlloc) })
+	reg.CounterFunc("go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(ms.get().PauseTotalNs) / 1e9 })
+	reg.CounterFunc("go_gc_cycles_total",
+		"Completed garbage-collection cycles.",
+		func() float64 { return float64(ms.get().NumGC) })
+	reg.GaugeFunc("go_sched_gomaxprocs_threads",
+		"Current GOMAXPROCS setting.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+
 	version, revision := obs.BuildInfo()
 	buildInfo := reg.GaugeVec("dcg_build_info",
 		"Build identity of the running binary; the value is always 1.",
 		"version", "revision")
 	buildInfo.With(version, revision).Set(1)
 	return m
+}
+
+// memStatsSampler caches one runtime.MemStats snapshot for up to a
+// second. Scrapes within the window (and the several gauges reading from
+// one scrape) share a single ReadMemStats stop-the-world.
+type memStatsSampler struct {
+	mu   sync.Mutex
+	last time.Time
+	ms   runtime.MemStats
+}
+
+func (s *memStatsSampler) get() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.last.IsZero() || time.Since(s.last) >= time.Second {
+		runtime.ReadMemStats(&s.ms)
+		s.last = time.Now()
+	}
+	return s.ms
 }
 
 // Snapshot is a point-in-time copy of the service counters, served on

@@ -92,6 +92,14 @@ type Config struct {
 	// jobs checkpoint to subdirectories of it, so jobs interrupted by a
 	// server restart are resumable by resubmitting the same spec.
 	SweepDir string
+
+	// Tracer, when set, enables span tracing: the middleware roots one
+	// span per /v1 request (continuing an inbound W3C traceparent),
+	// simrun/store/sweep stages nest under it, GET /v1/traces serves the
+	// ring of finished spans, and the tracer's span counters are
+	// registered on /metrics. Off (nil) by default: tracing is opt-in and
+	// costs nothing when absent.
+	Tracer *obs.Tracer
 }
 
 // withDefaults fills unset fields.
@@ -142,6 +150,7 @@ type Server struct {
 	m          *instruments
 	startedAt  time.Time
 	benchNames []string
+	tracer     *obs.Tracer // nil unless cfg.Tracer is set
 
 	sweeps *sweepJobs // nil unless cfg.SweepDir is set
 }
@@ -174,6 +183,11 @@ func newServer(cfg Config, exec *simrun.Exec) *Server {
 	}
 	s.m = s.newInstruments()
 	s.instrument()
+	if cfg.Tracer != nil {
+		s.tracer = cfg.Tracer
+		s.tracer.SetLogger(cfg.Logger)
+		s.tracer.Register(s.m.reg)
+	}
 	if cfg.Store != nil {
 		// Attached after instrument() on purpose: store lookups happen
 		// inside the cache closures before the Full/Capture seams, so a
@@ -187,7 +201,7 @@ func newServer(cfg Config, exec *simrun.Exec) *Server {
 			Workers: cfg.Workers,
 			Log:     cfg.Logger,
 			Metrics: sweep.NewMetrics(s.m.reg),
-		}, cfg.SweepDir, cfg.Logger)
+		}, cfg.SweepDir, cfg.Logger, s.tracer)
 	}
 	s.routes()
 	s.publishExpvar()

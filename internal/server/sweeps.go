@@ -12,6 +12,7 @@ import (
 	"regexp"
 	"sync"
 
+	"dcg/internal/obs"
 	"dcg/internal/sweep"
 )
 
@@ -29,9 +30,11 @@ type sweepJob struct {
 	ID   string `json:"id"`
 	Name string `json:"name"`
 
-	dir    string
-	cancel context.CancelFunc
-	done   chan struct{}
+	dir     string
+	cancel  context.CancelFunc
+	done    chan struct{}
+	span    *obs.Span // the job's root span; nil when untraced
+	traceID string
 
 	mu      sync.Mutex
 	state   string
@@ -44,6 +47,7 @@ type sweepJobView struct {
 	ID      string         `json:"id"`
 	Name    string         `json:"name"`
 	State   string         `json:"state"`
+	TraceID string         `json:"trace_id,omitempty"`
 	Error   string         `json:"error,omitempty"`
 	Summary *sweep.Summary `json:"summary,omitempty"`
 	Status  *sweep.Status  `json:"progress,omitempty"`
@@ -51,7 +55,7 @@ type sweepJobView struct {
 
 func (j *sweepJob) view() sweepJobView {
 	j.mu.Lock()
-	v := sweepJobView{ID: j.ID, Name: j.Name, State: j.state, Summary: j.summary}
+	v := sweepJobView{ID: j.ID, Name: j.Name, State: j.state, TraceID: j.traceID, Summary: j.summary}
 	if j.err != nil {
 		v.Error = j.err.Error()
 	}
@@ -67,13 +71,14 @@ type sweepJobs struct {
 	engine *sweep.Engine
 	root   string
 	log    *slog.Logger
+	tracer *obs.Tracer // nil = untraced jobs
 
 	mu   sync.Mutex
 	jobs map[string]*sweepJob
 }
 
-func newSweepJobs(engine *sweep.Engine, root string, log *slog.Logger) *sweepJobs {
-	return &sweepJobs{engine: engine, root: root, log: log, jobs: make(map[string]*sweepJob)}
+func newSweepJobs(engine *sweep.Engine, root string, log *slog.Logger, tracer *obs.Tracer) *sweepJobs {
+	return &sweepJobs{engine: engine, root: root, log: log, tracer: tracer, jobs: make(map[string]*sweepJob)}
 }
 
 // jobID derives the stable job identity: the spec's name plus a spec-hash
@@ -110,6 +115,14 @@ func (sj *sweepJobs) submit(spec *sweep.Spec) (*sweepJob, bool) {
 		done:   make(chan struct{}),
 		state:  sweepRunning,
 	}
+	if sj.tracer != nil {
+		// The job span is rooted here, not per request: the job outlives
+		// the submitting request, and its trace ID must be queryable (for
+		// /v1/traces and the progress ETA) while the job is still running.
+		ctx, j.span = sj.tracer.StartRoot(ctx, "sweep.job")
+		j.span.SetAttr("job", id)
+		j.traceID = j.span.TraceID.String()
+	}
 	sj.jobs[id] = j
 	go sj.run(ctx, j, spec)
 	return j, true
@@ -141,7 +154,15 @@ func (sj *sweepJobs) run(ctx context.Context, j *sweepJob, spec *sweep.Spec) {
 	}
 	state := j.state
 	j.mu.Unlock()
-	sj.log.Info("sweep job finished", "id", j.ID, "state", state)
+	if j.span != nil {
+		j.span.SetAttr("state", state)
+		j.span.Finish()
+	}
+	if j.traceID != "" {
+		sj.log.Info("sweep job finished", "id", j.ID, "state", state, "trace", j.traceID)
+	} else {
+		sj.log.Info("sweep job finished", "id", j.ID, "state", state)
+	}
 }
 
 // get returns the in-process job, or a view synthesised from disk when

@@ -1,0 +1,158 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dcg/internal/obs"
+	"dcg/internal/sweep"
+)
+
+// defaultTraceLimit bounds /v1/traces responses when the caller does not
+// pass an explicit limit. The ring holds thousands of spans; an unfiltered
+// dump of all of them is rarely what a debugging session wants.
+const defaultTraceLimit = 250
+
+// handleTraces serves the tracer's ring of finished spans.
+//
+//	GET /v1/traces?trace_id=<32 hex>&limit=<n>&format=json|jsonl|chrome
+//
+// With trace_id, only that trace's spans are returned (the usual flow:
+// take X-Trace-Id from a response, or trace_id from a sweep job view, and
+// fetch its tree). format=chrome emits a Chrome trace-event document
+// loadable in chrome://tracing or Perfetto; format=jsonl streams one span
+// per line for grep/jq.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	f := obs.SpanFilter{Limit: defaultTraceLimit}
+	if raw := q.Get("trace_id"); raw != "" {
+		tid, err := obs.ParseTraceID(raw)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		f.Trace = tid
+		f.Limit = 0 // a single trace is already bounded by the ring
+	}
+	if raw := q.Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", raw))
+			return
+		}
+		f.Limit = n
+	}
+	spans := s.tracer.Spans(f)
+	switch format := q.Get("format"); format {
+	case "", "json":
+		if spans == nil {
+			spans = []*obs.Span{}
+		}
+		s.writeJSON(w, http.StatusOK, map[string]any{
+			"count": len(spans),
+			"spans": spans,
+		})
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/jsonl; charset=utf-8")
+		_ = obs.WriteSpansJSONL(w, spans)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		_ = obs.WriteSpansChromeTrace(w, spans)
+	default:
+		s.fail(w, http.StatusBadRequest,
+			fmt.Errorf("unknown format %q (want json, jsonl, or chrome)", format))
+	}
+}
+
+// sweepProgressView is the /v1/sweeps/{id}/progress response: the
+// manifest's per-status counts plus, when the job is traced, a throughput
+// and ETA derived from its finished item spans.
+type sweepProgressView struct {
+	ID      string `json:"id"`
+	Name    string `json:"name"`
+	State   string `json:"state"`
+	TraceID string `json:"trace_id,omitempty"`
+	Total   int    `json:"total"`
+	OK      int    `json:"ok"`
+	Failed  int    `json:"failed"`
+	Pending int    `json:"pending"`
+	Done    bool   `json:"done"`
+
+	// Derived from the job's finished sweep.item spans; omitted when the
+	// job is untraced, its spans were evicted, or no item has finished.
+	ItemsFinished float64 `json:"items_finished,omitempty"`
+	ItemsPerSec   float64 `json:"items_per_sec,omitempty"`
+	ETASeconds    float64 `json:"eta_seconds,omitempty"`
+}
+
+// handleSweepProgress reports one job's progress with span-derived
+// throughput. Counts come from the on-disk manifest (authoritative across
+// restarts); rate and ETA come from the in-memory span ring, so they are
+// only present for jobs traced by this process life.
+func (s *Server) handleSweepProgress(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, view := s.sweeps.get(id)
+	var pv sweepProgressView
+	switch {
+	case job != nil:
+		v := job.view()
+		pv = sweepProgressView{ID: v.ID, Name: v.Name, State: v.State, TraceID: v.TraceID}
+		fillProgressCounts(&pv, v.Status)
+	case view != nil:
+		pv = sweepProgressView{ID: view.ID, Name: view.Name, State: view.State}
+		fillProgressCounts(&pv, view.Status)
+	default:
+		s.fail(w, http.StatusNotFound, fmt.Errorf("no sweep job %q", id))
+		return
+	}
+	if pv.TraceID != "" && s.tracer != nil {
+		if tid, err := obs.ParseTraceID(pv.TraceID); err == nil {
+			addSpanThroughput(&pv, s.tracer.Spans(obs.SpanFilter{Trace: tid}))
+		}
+	}
+	s.writeJSON(w, http.StatusOK, pv)
+}
+
+func fillProgressCounts(pv *sweepProgressView, st *sweep.Status) {
+	if st == nil {
+		return
+	}
+	pv.Total, pv.OK, pv.Failed, pv.Pending = st.Total, st.OK, st.Failed, st.Pending
+	pv.Done = st.Done
+}
+
+// addSpanThroughput derives items/sec and an ETA from the job's finished
+// item spans: rate = finished items over the wall-clock window they span,
+// ETA = pending items at that rate. Item spans include queueing inside the
+// engine's worker pool, so the window reflects delivered throughput, not
+// per-item service time.
+func addSpanThroughput(pv *sweepProgressView, spans []*obs.Span) {
+	var n int
+	var first, last time.Time
+	for _, sp := range spans {
+		if sp.Name != "sweep.item" {
+			continue
+		}
+		n++
+		if first.IsZero() || sp.Start.Before(first) {
+			first = sp.Start
+		}
+		if sp.End.After(last) {
+			last = sp.End
+		}
+	}
+	if n == 0 {
+		return
+	}
+	pv.ItemsFinished = float64(n)
+	window := last.Sub(first).Seconds()
+	if window <= 0 {
+		return
+	}
+	pv.ItemsPerSec = float64(n) / window
+	if pv.Pending > 0 && pv.ItemsPerSec > 0 {
+		pv.ETASeconds = float64(pv.Pending) / pv.ItemsPerSec
+	}
+}

@@ -51,12 +51,14 @@ type Exec struct {
 // caches. Implementations must be safe for concurrent use; Get misses and
 // Put failures are expected to be absorbed internally (logged/counted),
 // never surfaced as request errors — the tier is an accelerator, not a
-// source of truth.
+// source of truth. The context carries observability state (logger,
+// trace span) and, for a future remote tier, cancellation; it must not
+// change which artifact a key maps to.
 type PersistentTier interface {
-	GetResult(k Key) (*core.Result, bool)
-	PutResult(k Key, r *core.Result)
-	GetTiming(k TimingKey) (*core.Timing, bool)
-	PutTiming(k TimingKey, t *core.Timing)
+	GetResult(ctx context.Context, k Key) (*core.Result, bool)
+	PutResult(ctx context.Context, k Key, r *core.Result)
+	GetTiming(ctx context.Context, k TimingKey) (*core.Timing, bool)
+	PutTiming(ctx context.Context, k TimingKey, t *core.Timing)
 }
 
 // NewExec builds the production two-level executor. resultCap bounds the
@@ -88,7 +90,17 @@ func NewSingleLevelExec(resultCap int, run func(ctx context.Context, k Key) (*co
 // result cache, OutcomeReplayed when a cached timing trace was replayed,
 // OutcomeMiss when a full simulation (or capture) ran.
 func (e *Exec) Do(ctx context.Context, k Key) (*core.Result, Outcome, error) {
+	// The lookup span covers the whole two-level resolution; its outcome
+	// attribute is the cache-lookup verdict (cache/coalesced/replayed/
+	// store/simulated). Stage spans below attribute where the time went.
+	ctx, sp := obs.StartSpan(ctx, "simrun.lookup")
+	sp.SetAttr("bench", k.Bench)
+	sp.SetAttr("scheme", k.Scheme.String())
+	sp.SetAttrInt("insts", int64(k.Insts))
 	res, out, err := e.do(ctx, k)
+	sp.SetAttr("outcome", out.String())
+	sp.SetError(err)
+	sp.Finish()
 	if lg := obs.Logger(ctx); lg.Enabled(ctx, slog.LevelDebug) {
 		attrs := []any{
 			"bench", k.Bench, "scheme", k.Scheme.String(), "insts", k.Insts,
@@ -111,9 +123,14 @@ func (e *Exec) do(ctx context.Context, k Key) (*core.Result, Outcome, error) {
 				fromStore = true
 				return r, nil
 			}
+			_, sp := obs.StartSpan(ctx, "sim.full")
+			sp.SetAttr("bench", k.Bench)
+			sp.SetAttr("scheme", k.Scheme.String())
 			r, err := e.Full(ctx, k)
+			sp.SetError(err)
+			sp.Finish()
 			if err == nil && e.Store != nil {
-				e.Store.PutResult(k, r)
+				e.Store.PutResult(ctx, k, r)
 			}
 			return r, err
 		})
@@ -139,18 +156,29 @@ func (e *Exec) do(ctx context.Context, k Key) (*core.Result, Outcome, error) {
 			if t, ok := e.storeTiming(ctx, k.TimingKey()); ok {
 				return t, nil
 			}
+			_, sp := obs.StartSpan(ctx, "sim.capture")
+			sp.SetAttr("bench", k.Bench)
+			sp.SetAttrInt("insts", int64(k.Insts))
+			sp.SetAttr("channels", k.TimingKey().Channels)
 			start := time.Now()
 			r, t, err := e.Capture(ctx, k)
 			inline = r
+			sp.SetError(err)
 			if err == nil {
+				if sp != nil && t.Trace != nil {
+					sp.SetAttrInt("trace_bytes", int64(t.Trace.SizeBytes()))
+				}
+				sp.Finish()
 				if e.Store != nil {
-					e.Store.PutTiming(k.TimingKey(), t)
+					e.Store.PutTiming(ctx, k.TimingKey(), t)
 				}
 				if lg.Enabled(ctx, slog.LevelDebug) {
 					lg.Debug("simrun: timing captured", "bench", k.Bench,
 						"insts", k.Insts, "trace_bytes", t.Trace.SizeBytes(),
 						"elapsed_ms", float64(time.Since(start).Microseconds())/1000)
 				}
+			} else {
+				sp.Finish()
 			}
 			return t, err
 		})
@@ -159,16 +187,38 @@ func (e *Exec) do(ctx context.Context, k Key) (*core.Result, Outcome, error) {
 		}
 		if inline != nil {
 			if e.Store != nil {
-				e.Store.PutResult(k, inline)
+				e.Store.PutResult(ctx, k, inline)
 			}
 			return inline, nil
 		}
 		replayed = true
+		rctx, sp := obs.StartSpan(ctx, "sim.replay")
+		sp.SetAttr("bench", k.Bench)
+		sp.SetAttr("scheme", k.Scheme.String())
+		if info, ok := core.SchemeInfoFor(k.Scheme); ok {
+			// The registry's replay capability is what routes the scheme
+			// (bit-packed kernel vs the scalar fused engine), so the span
+			// records the route without racing on the global counters.
+			sp.SetAttr("engine", info.Replay.String())
+		}
+		if sp != nil && tm.Trace != nil {
+			// Decode is memoized per trace, so forcing it here only moves
+			// the work under its own span: a fresh decode shows up as
+			// milliseconds, a reuse as nanoseconds. Skipped entirely when
+			// tracing is off.
+			_, dsp := obs.StartSpan(rctx, "trace.decode")
+			dsp.SetAttrInt("trace_bytes", int64(tm.Trace.SizeBytes()))
+			_, derr := tm.Trace.Decode()
+			dsp.SetError(derr)
+			dsp.Finish()
+		}
 		start := time.Now()
 		res, err := e.Evaluate(k, tm)
+		sp.SetError(err)
+		sp.Finish()
 		if err == nil {
 			if e.Store != nil {
-				e.Store.PutResult(k, res)
+				e.Store.PutResult(ctx, k, res)
 			}
 			if lg.Enabled(ctx, slog.LevelDebug) {
 				lg.Debug("simrun: trace replayed", "bench", k.Bench,
@@ -194,7 +244,7 @@ func (e *Exec) storeResult(ctx context.Context, k Key) (*core.Result, bool) {
 	if e.Store == nil {
 		return nil, false
 	}
-	r, ok := e.Store.GetResult(k)
+	r, ok := e.Store.GetResult(ctx, k)
 	if ok {
 		if lg := obs.Logger(ctx); lg.Enabled(ctx, slog.LevelDebug) {
 			lg.Debug("simrun: result from store", "bench", k.Bench, "scheme", k.Scheme.String())
@@ -208,7 +258,7 @@ func (e *Exec) storeTiming(ctx context.Context, k TimingKey) (*core.Timing, bool
 	if e.Store == nil {
 		return nil, false
 	}
-	t, ok := e.Store.GetTiming(k)
+	t, ok := e.Store.GetTiming(ctx, k)
 	if ok {
 		if lg := obs.Logger(ctx); lg.Enabled(ctx, slog.LevelDebug) {
 			lg.Debug("simrun: timing from store", "bench", k.Bench, "insts", k.Insts)

@@ -28,6 +28,7 @@ package store
 import (
 	"bytes"
 	"compress/gzip"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
@@ -212,12 +213,17 @@ func (s *Store) path(addr, ext string) string {
 }
 
 // GetResult implements simrun.PersistentTier.
-func (s *Store) GetResult(k simrun.Key) (*core.Result, bool) {
+func (s *Store) GetResult(ctx context.Context, k simrun.Key) (_ *core.Result, ok bool) {
+	_, sp := obs.StartSpan(ctx, "store.get_result")
+	sp.SetAttr("bench", k.Bench)
+	sp.SetAttr("scheme", k.Scheme.String())
+	defer func() { sp.SetAttrBool("hit", ok); sp.Finish() }()
 	path := s.path(resultAddr(k), extResult)
 	payload, ok := s.read(path, kindResult)
 	if !ok {
 		return nil, false
 	}
+	sp.SetAttrInt("bytes", int64(len(payload)))
 	gz, err := gzip.NewReader(bytes.NewReader(payload))
 	if err != nil {
 		s.corrupt(path, fmt.Errorf("result payload not gzip: %w", err))
@@ -242,7 +248,11 @@ func (s *Store) GetResult(k simrun.Key) (*core.Result, bool) {
 }
 
 // PutResult implements simrun.PersistentTier.
-func (s *Store) PutResult(k simrun.Key, r *core.Result) {
+func (s *Store) PutResult(ctx context.Context, k simrun.Key, r *core.Result) {
+	_, sp := obs.StartSpan(ctx, "store.put_result")
+	sp.SetAttr("bench", k.Bench)
+	sp.SetAttr("scheme", k.Scheme.String())
+	defer sp.Finish()
 	path := s.path(resultAddr(k), extResult)
 	s.put(path, kindResult, func(w io.Writer) error {
 		gz := gzip.NewWriter(w)
@@ -268,12 +278,17 @@ type timingMeta struct {
 }
 
 // GetTiming implements simrun.PersistentTier.
-func (s *Store) GetTiming(k simrun.TimingKey) (*core.Timing, bool) {
+func (s *Store) GetTiming(ctx context.Context, k simrun.TimingKey) (_ *core.Timing, ok bool) {
+	_, sp := obs.StartSpan(ctx, "store.get_timing")
+	sp.SetAttr("bench", k.Bench)
+	sp.SetAttr("channels", k.Channels)
+	defer func() { sp.SetAttrBool("hit", ok); sp.Finish() }()
 	path := s.path(timingAddr(k), extTiming)
 	payload, ok := s.read(path, kindTiming)
 	if !ok {
 		return nil, false
 	}
+	sp.SetAttrInt("bytes", int64(len(payload)))
 	metaLen, n := binary.Uvarint(payload)
 	if n <= 0 || metaLen > uint64(len(payload)-n) {
 		s.corrupt(path, errors.New("timing meta length out of range"))
@@ -312,7 +327,11 @@ func (s *Store) GetTiming(k simrun.TimingKey) (*core.Timing, bool) {
 }
 
 // PutTiming implements simrun.PersistentTier.
-func (s *Store) PutTiming(k simrun.TimingKey, t *core.Timing) {
+func (s *Store) PutTiming(ctx context.Context, k simrun.TimingKey, t *core.Timing) {
+	_, sp := obs.StartSpan(ctx, "store.put_timing")
+	sp.SetAttr("bench", k.Bench)
+	sp.SetAttr("channels", k.Channels)
+	defer sp.Finish()
 	path := s.path(timingAddr(k), extTiming)
 	s.put(path, kindTiming, func(w io.Writer) error {
 		machine, err := json.Marshal(t.Machine)

@@ -56,10 +56,10 @@ func TestResultRoundTrip(t *testing.T) {
 	}
 
 	dir := t.TempDir()
-	open(t, dir, 0).PutResult(k, orig)
+	open(t, dir, 0).PutResult(context.Background(), k, orig)
 
 	s2 := open(t, dir, 0) // fresh handle = restarted process
-	got, ok := s2.GetResult(k)
+	got, ok := s2.GetResult(context.Background(), k)
 	if !ok {
 		t.Fatal("persisted result not found by a fresh store handle")
 	}
@@ -78,7 +78,7 @@ func TestResultRoundTrip(t *testing.T) {
 	if st := s2.Stats(); st.Hits != 1 || st.Misses != 0 {
 		t.Errorf("stats after hit = %+v, want 1 hit / 0 misses", st)
 	}
-	if _, ok := s2.GetResult(simrun.Key{Bench: "absent", Scheme: core.SchemeDCG, Insts: 5000}); ok {
+	if _, ok := s2.GetResult(context.Background(), simrun.Key{Bench: "absent", Scheme: core.SchemeDCG, Insts: 5000}); ok {
 		t.Fatal("store invented a result for a key never stored")
 	}
 }
@@ -94,8 +94,8 @@ func TestTimingRoundTrip(t *testing.T) {
 	}
 
 	dir := t.TempDir()
-	open(t, dir, 0).PutTiming(k.TimingKey(), tm)
-	got, ok := open(t, dir, 0).GetTiming(k.TimingKey())
+	open(t, dir, 0).PutTiming(context.Background(), k.TimingKey(), tm)
+	got, ok := open(t, dir, 0).GetTiming(context.Background(), k.TimingKey())
 	if !ok {
 		t.Fatal("persisted timing not found by a fresh store handle")
 	}
@@ -178,7 +178,7 @@ func TestCorruptionDetectedAndRecomputed(t *testing.T) {
 		t.Errorf("corruptions = %d, want 1", st.Corruptions)
 	}
 	// The recompute rewrote a valid artifact over the evicted one.
-	if got, ok := s2.GetResult(k); !ok || got.Cycles != 12345 {
+	if got, ok := s2.GetResult(context.Background(), k); !ok || got.Cycles != 12345 {
 		t.Fatalf("artifact not rewritten after corruption: ok=%v res=%+v", ok, got)
 	}
 }
@@ -190,7 +190,7 @@ func TestFrameValidation(t *testing.T) {
 	k := simrun.Key{Bench: "art", Scheme: core.SchemeDCG, Insts: 42}
 	seed := func() []byte {
 		s := open(t, dir, 0)
-		s.PutResult(k, &core.Result{Benchmark: "art", Cycles: 7})
+		s.PutResult(context.Background(), k, &core.Result{Benchmark: "art", Cycles: 7})
 		raw, err := os.ReadFile(artifacts(t, dir)[0])
 		if err != nil {
 			t.Fatal(err)
@@ -219,7 +219,7 @@ func TestFrameValidation(t *testing.T) {
 			t.Fatal(err)
 		}
 		s := open(t, dir, 0)
-		if _, ok := s.GetResult(k); ok {
+		if _, ok := s.GetResult(context.Background(), k); ok {
 			t.Errorf("%s-corrupted artifact decoded as a hit", name)
 		}
 		if st := s.Stats(); st.Corruptions != 1 {
@@ -241,7 +241,7 @@ func TestEvictionBySizeCap(t *testing.T) {
 	mk := func(i int) simrun.Key {
 		return simrun.Key{Bench: "b", Scheme: core.SchemeDCG, Insts: uint64(i + 1)}
 	}
-	probe.PutResult(mk(0), &core.Result{Benchmark: "b", Cycles: 1})
+	probe.PutResult(context.Background(), mk(0), &core.Result{Benchmark: "b", Cycles: 1})
 	one := probe.Stats().SizeBytes
 	if one <= 0 {
 		t.Fatal("probe artifact has no size")
@@ -249,7 +249,7 @@ func TestEvictionBySizeCap(t *testing.T) {
 
 	s := open(t, dir, 3*one+one/2)
 	for i := 1; i < 8; i++ {
-		s.PutResult(mk(i), &core.Result{Benchmark: "b", Cycles: uint64(i)})
+		s.PutResult(context.Background(), mk(i), &core.Result{Benchmark: "b", Cycles: uint64(i)})
 		time.Sleep(5 * time.Millisecond) // distinct mtimes order the LRU
 	}
 	st := s.Stats()
@@ -260,10 +260,10 @@ func TestEvictionBySizeCap(t *testing.T) {
 		t.Errorf("resident %d bytes exceeds cap %d after eviction", st.SizeBytes, st.MaxBytes)
 	}
 	// The newest artifact must have survived; the oldest must be gone.
-	if _, ok := s.GetResult(mk(7)); !ok {
+	if _, ok := s.GetResult(context.Background(), mk(7)); !ok {
 		t.Error("most recently written artifact was evicted")
 	}
-	if _, ok := s.GetResult(mk(0)); ok {
+	if _, ok := s.GetResult(context.Background(), mk(0)); ok {
 		t.Error("least recently used artifact survived eviction")
 	}
 	// The eviction pass released its cross-process lock.
@@ -279,7 +279,7 @@ func TestEvictionSkippedWhenLockHeld(t *testing.T) {
 	dir := t.TempDir()
 	probe := open(t, dir, 0)
 	k0 := simrun.Key{Bench: "x", Scheme: core.SchemeDCG, Insts: 1}
-	probe.PutResult(k0, &core.Result{Cycles: 1})
+	probe.PutResult(context.Background(), k0, &core.Result{Cycles: 1})
 	one := probe.Stats().SizeBytes
 
 	lock := filepath.Join(dir, "lock")
@@ -287,7 +287,7 @@ func TestEvictionSkippedWhenLockHeld(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := open(t, dir, one) // cap of one artifact: the next put overflows
-	s.PutResult(simrun.Key{Bench: "x", Scheme: core.SchemeDCG, Insts: 2}, &core.Result{Cycles: 2})
+	s.PutResult(context.Background(), simrun.Key{Bench: "x", Scheme: core.SchemeDCG, Insts: 2}, &core.Result{Cycles: 2})
 	if st := s.Stats(); st.Evictions != 0 {
 		t.Fatalf("evicted %d artifacts while another process held the lock", st.Evictions)
 	}
@@ -297,7 +297,7 @@ func TestEvictionSkippedWhenLockHeld(t *testing.T) {
 	if err := os.Chtimes(lock, old, old); err != nil {
 		t.Fatal(err)
 	}
-	s.PutResult(simrun.Key{Bench: "x", Scheme: core.SchemeDCG, Insts: 3}, &core.Result{Cycles: 3})
+	s.PutResult(context.Background(), simrun.Key{Bench: "x", Scheme: core.SchemeDCG, Insts: 3}, &core.Result{Cycles: 3})
 	if st := s.Stats(); st.Evictions == 0 {
 		t.Fatal("stale lock was never broken; eviction starved")
 	}
@@ -446,11 +446,11 @@ func TestV1TimingArtifactAfterChannelBump(t *testing.T) {
 	v1tm.Trace = rewriteTraceV1(t, tm.Trace)
 
 	dir := t.TempDir()
-	open(t, dir, 0).PutTiming(k.TimingKey(), &v1tm)
+	open(t, dir, 0).PutTiming(context.Background(), k.TimingKey(), &v1tm)
 
 	// "Restart": the artifact written under the pre-channel address is
 	// found, because usage-only timing keys never grew a channel suffix.
-	got, ok := open(t, dir, 0).GetTiming(k.TimingKey())
+	got, ok := open(t, dir, 0).GetTiming(context.Background(), k.TimingKey())
 	if !ok {
 		t.Fatal("v1-format timing artifact not found after restart")
 	}
@@ -474,7 +474,7 @@ func TestV1TimingArtifactAfterChannelBump(t *testing.T) {
 	if kv.TimingKey() == k.TimingKey() {
 		t.Fatal("ddcg shares the usage-only TimingKey; v1 artifacts could serve it")
 	}
-	if _, ok := open(t, dir, 0).GetTiming(kv.TimingKey()); ok {
+	if _, ok := open(t, dir, 0).GetTiming(context.Background(), kv.TimingKey()); ok {
 		t.Fatal("store served a usage-only artifact for a latchvalue-requiring key")
 	}
 	// ...and even a direct evaluation against the channel-less trace is

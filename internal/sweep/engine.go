@@ -40,6 +40,12 @@ type Engine struct {
 
 	// Metrics, when set, receives per-item observations.
 	Metrics *Metrics
+
+	// Tracer, when set, roots a span per run when the caller's context
+	// does not already carry one (the CLI path; the server roots the job
+	// span itself). Item spans always parent under the context's span,
+	// so a nil Tracer still traces server-submitted sweeps.
+	Tracer *obs.Tracer
 }
 
 // Summary reports a finished (or interrupted) run.
@@ -55,6 +61,9 @@ type Summary struct {
 	// Done is true when every item has a successful result and
 	// results.jsonl has been written.
 	Done bool `json:"done"`
+	// TraceID identifies the run's span tree (empty when untraced). It
+	// lives on the summary, never in the deterministic results stream.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ErrExists reports a Start into a directory that already holds a
@@ -170,6 +179,11 @@ type itemState struct {
 	// release, when non-nil, is closed when this item finishes (however
 	// it finishes): it is a timing group's capture leader.
 	release chan struct{}
+	// leader is the capture leader a follower gated on (nil otherwise).
+	leader *itemState
+	// spanID is the leader's item span, written before release closes so
+	// followers can link their spans to the capture that fed them.
+	spanID obs.SpanID
 }
 
 // runItems is the scheduler core: builds the capture-once DAG over the
@@ -190,6 +204,18 @@ func (e *Engine) runItems(ctx context.Context, name string, items []Item,
 		log = obs.NopLogger()
 	}
 
+	// Root a job span when the context has none (CLI); a server-submitted
+	// job arrives with its own root and the items parent under it.
+	jobSpan := obs.SpanFromContext(ctx)
+	if jobSpan == nil && e.Tracer != nil {
+		ctx, jobSpan = e.Tracer.StartRoot(ctx, "sweep.job")
+		defer jobSpan.Finish()
+	}
+	jobSpan.SetAttr("name", name)
+	if tid := obs.TraceIDFromContext(ctx); tid != "" {
+		log = log.With("trace", tid)
+	}
+
 	// Build the DAG: for each timing group (same TimingKey, timing-
 	// neutral scheme) the first pending item is the capture leader;
 	// the rest wait on it and then fan out as replays. PLB items and
@@ -207,6 +233,7 @@ func (e *Engine) runItems(ctx context.Context, name string, items []Item,
 					lead.release = make(chan struct{})
 				}
 				st.gate = lead.release
+				st.leader = lead
 			} else {
 				leaders[it.Key.TimingKey()] = st
 			}
@@ -215,6 +242,15 @@ func (e *Engine) runItems(ctx context.Context, name string, items []Item,
 	}
 
 	sum := &Summary{Name: name, Total: len(items), Skipped: len(done)}
+	if jobSpan != nil {
+		sum.TraceID = jobSpan.TraceID.String()
+		jobSpan.SetAttrInt("items", int64(len(items)))
+		jobSpan.SetAttrInt("skipped", int64(sum.Skipped))
+		defer func() {
+			jobSpan.SetAttrInt("completed", int64(sum.Completed))
+			jobSpan.SetAttrInt("failed", int64(sum.Failed))
+		}()
+	}
 	log.Info("sweep: starting", "name", name, "items", len(items),
 		"skipped", sum.Skipped, "workers", workers)
 	if e.Metrics != nil {
@@ -268,7 +304,34 @@ func (e *Engine) runItems(ctx context.Context, name string, items []Item,
 				return
 			}
 
-			rec := e.runItem(runCtx, st.item, log)
+			ictx, isp := obs.StartSpan(runCtx, "sweep.item")
+			isp.SetAttrInt("index", int64(st.item.Index))
+			isp.SetAttr("bench", st.item.Key.Bench)
+			isp.SetAttr("scheme", st.item.Key.Scheme.String())
+			switch {
+			case st.release != nil:
+				isp.SetAttr("role", "capture-leader")
+			case st.leader != nil:
+				isp.SetAttr("role", "replay-follower")
+				// The leader writes its span ID before release closes, so
+				// this read is ordered by the gate the follower waited on.
+				if id := st.leader.spanID; !id.IsZero() {
+					isp.SetAttr("leader_span", id.String())
+				}
+			}
+			if isp != nil && st.release != nil {
+				st.spanID = isp.ID
+			}
+			rec := e.runItem(ictx, st.item, log)
+			if isp != nil {
+				isp.SetAttr("status", rec.Status)
+				if rec.Outcome != "" {
+					isp.SetAttr("outcome", rec.Outcome)
+				}
+				isp.SetAttrInt("attempts", int64(rec.Attempts))
+				isp.Err = rec.Error
+				isp.Finish()
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			if rec.Status == "ok" {
@@ -363,6 +426,9 @@ func (e *Engine) runItem(ctx context.Context, it Item, log *slog.Logger) Record 
 		}
 		log.Warn("sweep: item retrying", "index", it.Index, "bench", it.Key.Bench,
 			"scheme", it.Key.Scheme.String(), "attempt", attempt, "err", err)
+		obs.SpanFromContext(ctx).AddEvent("retry",
+			obs.Attr{Key: "attempt", Value: fmt.Sprint(attempt)},
+			obs.Attr{Key: "err", Value: err.Error()})
 		select {
 		case <-time.After(time.Duration(attempt) * backoff):
 		case <-ctx.Done():

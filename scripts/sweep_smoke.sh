@@ -58,8 +58,10 @@ echo "sweep-smoke: killed mid-flight with $checkpointed/$total items checkpointe
 [ -f "$work/job/results.jsonl" ] && [ "$checkpointed" -lt "$total" ] && \
     fail "results.jsonl exists before the job completed"
 
-# Resume and verify nothing checkpointed was re-executed.
-"$work/dcgsweep" resume -dir "$work/job" -workers 2 > "$work/resume-summary.json"
+# Resume and verify nothing checkpointed was re-executed. The resume is
+# span-traced; its exported JSONL is a CI artifact.
+"$work/dcgsweep" resume -dir "$work/job" -workers 2 \
+    -trace-out "$work/resume-spans.jsonl" > "$work/resume-summary.json"
 skipped=$(sed -n 's/.*"skipped": \([0-9]*\).*/\1/p' "$work/resume-summary.json")
 grep -q '"done": true' "$work/resume-summary.json" || fail "resume did not finish the job"
 [ "$skipped" -eq "$checkpointed" ] || \
@@ -70,4 +72,58 @@ grep -q '"done": true' "$work/resume-summary.json" || fail "resume did not finis
 cmp "$work/ref/results.jsonl" "$work/job/results.jsonl" || \
     fail "resumed results.jsonl differs from the uninterrupted run"
 
-echo "sweep-smoke: OK ($total items; kill after $checkpointed; byte-identical results)"
+# The traced resume exported a span tree: one sweep.job root plus one
+# sweep.item per executed (non-skipped) item.
+[ -s "$work/resume-spans.jsonl" ] || fail "traced resume exported no spans"
+grep -q '"name":"sweep.job"' "$work/resume-spans.jsonl" || \
+    fail "span export has no sweep.job root"
+grep -q '"name":"sweep.item"' "$work/resume-spans.jsonl" || \
+    fail "span export has no sweep.item spans"
+
+# Server mode: the same sweep submitted over HTTP must be traced end to
+# end — the job view carries a trace_id and /v1/traces returns its
+# connected span tree.
+go build -o "$work/dcgserve" ./cmd/dcgserve
+port=$((20000 + RANDOM % 20000))
+"$work/dcgserve" -addr "127.0.0.1:$port" -sweep-dir "$work/srv-jobs" \
+    -log-level warn > "$work/dcgserve.log" 2>&1 &
+srv_pid=$!
+trap 'kill "$srv_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+    curl -fsS "http://127.0.0.1:$port/healthz" > /dev/null 2>&1 && break
+    kill -0 "$srv_pid" 2>/dev/null || fail "dcgserve died on startup (see dcgserve.log)"
+    sleep 0.1
+done
+
+curl -fsS -X POST --data-binary "@$spec" \
+    "http://127.0.0.1:$port/v1/sweeps" > "$work/srv-submit.json" || \
+    fail "sweep submit over HTTP failed"
+job_id=$(sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$work/srv-submit.json" | head -1)
+[ -n "$job_id" ] || fail "submit response has no job id"
+
+state=""
+for _ in $(seq 1 600); do
+    curl -fsS "http://127.0.0.1:$port/v1/sweeps/$job_id" > "$work/srv-status.json"
+    state=$(sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' "$work/srv-status.json" | head -1)
+    [ "$state" != "running" ] && break
+    sleep 0.1
+done
+[ "$state" = "done" ] || fail "server sweep finished in state '$state'"
+
+trace_id=$(sed -n 's/.*"trace_id": *"\([^"]*\)".*/\1/p' "$work/srv-status.json" | head -1)
+[ -n "$trace_id" ] || fail "server job view has no trace_id"
+
+curl -fsS "http://127.0.0.1:$port/v1/traces?trace_id=$trace_id&format=jsonl" \
+    > "$work/server-spans.jsonl" || fail "/v1/traces fetch failed"
+[ -s "$work/server-spans.jsonl" ] || fail "/v1/traces returned no spans for $trace_id"
+grep -q '"name":"sweep.job"' "$work/server-spans.jsonl" || \
+    fail "server trace has no sweep.job root"
+items=$(grep -c '"name":"sweep.item"' "$work/server-spans.jsonl" || true)
+[ "$items" -eq "$total" ] || \
+    fail "server trace has $items sweep.item spans, want $total"
+
+kill "$srv_pid" 2>/dev/null || true
+wait "$srv_pid" 2>/dev/null || true
+trap - EXIT
+
+echo "sweep-smoke: OK ($total items; kill after $checkpointed; byte-identical results; $items item spans traced)"
