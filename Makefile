@@ -11,10 +11,12 @@
 #   make serve   - run the simulation service locally
 #   make sweep-smoke - kill a sweep job mid-flight, resume it, and assert
 #                  byte-identical results with no re-executed work
+#   make cluster-smoke - coordinator + two worker processes, SIGKILL one
+#                  mid-sweep, assert completion and byte-identical results
 
 GO ?= go
 
-.PHONY: check lint vet fmt-check schemedoc-check test race bench bench-json build serve sweep-smoke
+.PHONY: check lint vet fmt-check schemedoc-check test race bench bench-json build serve sweep-smoke cluster-smoke
 
 check: lint race
 
@@ -50,3 +52,6 @@ serve:
 
 sweep-smoke:
 	scripts/sweep_smoke.sh
+
+cluster-smoke:
+	scripts/cluster_smoke.sh

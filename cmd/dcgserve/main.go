@@ -9,6 +9,15 @@
 //	         [-log-level info] [-log-format text] [-pprof] [-enable-trace]
 //	         [-store-dir DIR] [-store-max-bytes N] [-sweep-dir DIR]
 //	         [-trace-spans 4096] [-trace-slow-ms 0] [-version]
+//	         [-cluster] [-cluster-workers N] [-lease-ttl 10s] [-sweep-retries N]
+//
+// With -cluster (requires -sweep-dir), the server becomes a sweep
+// coordinator: submitted sweeps execute through a fleet of lease-pulling
+// workers instead of the in-process engine. -cluster-workers embedded
+// worker loops run inside this process (0 makes a pure coordinator for
+// external dcgworker processes), the lease protocol is served under
+// /cluster/v1/, and — with -store-dir — the artifact store under
+// /store/v1/ for workers to remote-tier against. See docs/SWEEPS.md.
 //
 // Try it:
 //
@@ -25,12 +34,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
 
+	"dcg/internal/cluster"
 	"dcg/internal/obs"
 	"dcg/internal/server"
+	"dcg/internal/simrun"
 	"dcg/internal/store"
 )
 
@@ -71,6 +83,10 @@ func main() {
 		sweepDir     = flag.String("sweep-dir", "", "sweep job directory; mounts the /v1/sweeps API (empty = disabled)")
 		traceSpans   = flag.Int("trace-spans", obs.DefaultSpanCapacity, "finished request/stage spans retained for /v1/traces (0 = tracing off)")
 		traceSlowMS  = flag.Int("trace-slow-ms", 0, "log spans slower than this many milliseconds at warn (0 = off)")
+		clusterOn    = flag.Bool("cluster", false, "coordinate sweeps across a worker fleet (requires -sweep-dir); mounts /cluster/v1/")
+		clusterWkrs  = flag.Int("cluster-workers", -1, "embedded cluster worker loops (-1 = GOMAXPROCS, 0 = pure coordinator)")
+		leaseTTL     = flag.Duration("lease-ttl", 10*time.Second, "cluster work-lease TTL; a silent worker's items requeue after this")
+		sweepRetries = flag.Int("sweep-retries", 0, "re-attempts for failed cluster sweep items")
 		version      = flag.Bool("version", false, "print build version and exit")
 	)
 	flag.Parse()
@@ -103,6 +119,20 @@ func main() {
 		tracer.SetSlowThreshold(time.Duration(*traceSlowMS) * time.Millisecond)
 	}
 
+	var hub *cluster.Hub
+	if *clusterOn {
+		if *sweepDir == "" {
+			fmt.Fprintln(os.Stderr, "dcgserve: -cluster requires -sweep-dir")
+			os.Exit(2)
+		}
+		hub = cluster.NewHub(cluster.HubConfig{
+			LeaseTTL: *leaseTTL,
+			Retries:  *sweepRetries,
+			Log:      logger,
+			Tracer:   tracer,
+		})
+	}
+
 	srv := server.New(server.Config{
 		Workers:         *workers,
 		CacheSize:       *cacheSize,
@@ -116,7 +146,42 @@ func main() {
 		Store:           artifacts,
 		SweepDir:        *sweepDir,
 		Tracer:          tracer,
+		Cluster:         hub,
 	})
+
+	// Embedded fleet: worker loops inside the coordinator process, polling
+	// the hub directly and sharing the artifact store on disk. They stop
+	// on shutdown; any in-flight leases expire and requeue for external
+	// workers (or a restart).
+	workerCtx, stopWorkers := context.WithCancel(context.Background())
+	defer stopWorkers()
+	if hub != nil {
+		n := *clusterWkrs
+		if n < 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		if n > 0 {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "local"
+			}
+			exec := simrun.NewExec(*cacheSize, *timingCache)
+			exec.Store = artifacts
+			for i := 0; i < n; i++ {
+				w := &cluster.Worker{
+					Name:   host,
+					Client: cluster.DirectClient{Hub: hub},
+					Exec:   exec,
+					Log:    logger,
+					Tracer: tracer,
+				}
+				go w.Run(workerCtx)
+			}
+			logger.Info("embedded cluster workers running", "name", host, "loops", n)
+		} else {
+			logger.Info("pure coordinator: no embedded workers; point dcgworker at this listener")
+		}
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -1,0 +1,51 @@
+package cluster
+
+import "dcg/internal/obs"
+
+// Metrics is the cluster's observability surface, registered on the
+// coordinator process's /metrics registry by Hub.Register. A nil
+// *Metrics is valid and records nothing, so coordinators work unwired
+// (tests, ephemeral jobs).
+type Metrics struct {
+	LeasesGranted    *obs.Counter    // dcg_cluster_leases_granted_total
+	LeaseExpirations *obs.Counter    // dcg_cluster_lease_expirations_total
+	Steals           *obs.Counter    // dcg_cluster_steals_total
+	Items            *obs.CounterVec // dcg_cluster_items_total{status}
+}
+
+func newMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{
+		LeasesGranted: reg.Counter("dcg_cluster_leases_granted_total",
+			"Work leases granted to cluster workers (re-grants of requeued items included)."),
+		LeaseExpirations: reg.Counter("dcg_cluster_lease_expirations_total",
+			"Leases that expired without a completion report (worker death; the item requeued)."),
+		Steals: reg.Counter("dcg_cluster_steals_total",
+			"Leases granted against capture-leader affinity (work stealing)."),
+		Items: reg.CounterVec("dcg_cluster_items_total",
+			"Cluster sweep items reaching a terminal state, by status.", "status"),
+	}
+}
+
+func (m *Metrics) granted() {
+	if m != nil {
+		m.LeasesGranted.Inc()
+	}
+}
+
+func (m *Metrics) expired() {
+	if m != nil {
+		m.LeaseExpirations.Inc()
+	}
+}
+
+func (m *Metrics) stole() {
+	if m != nil {
+		m.Steals.Inc()
+	}
+}
+
+func (m *Metrics) item(status string) {
+	if m != nil {
+		m.Items.With(status).Inc()
+	}
+}

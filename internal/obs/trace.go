@@ -22,8 +22,10 @@ import (
 // finished spans; the serving layer roots one span per HTTP request, the
 // executor and store add child spans per stage, and the sweep engine adds
 // one span per DAG item. Because propagation is the standard traceparent
-// header, a span tree will survive the planned coordinator→worker HTTP
-// hop unchanged.
+// header, a span tree survives the cluster's coordinator→worker hop: the
+// coordinator injects each lease's span into the lease body, and the
+// worker roots its item spans under it (internal/cluster), so one
+// distributed sweep is one trace ID across every process.
 //
 // The disabled path is free: StartSpan on a context without a span
 // returns a nil *Span, and every Span method is a nil-receiver no-op, so
@@ -416,15 +418,24 @@ func TraceIDFromContext(ctx context.Context) string {
 // TraceparentHeader is the W3C trace-context header name.
 const TraceparentHeader = "traceparent"
 
+// Traceparent renders the span as a W3C traceparent header value, for
+// carrying trace context in places that are not HTTP request headers —
+// the cluster's lease bodies hand it from coordinator to worker this
+// way. Empty for a nil span.
+func (s *Span) Traceparent() string {
+	if s == nil {
+		return ""
+	}
+	return "00-" + s.TraceID.String() + "-" + s.ID.String() + "-01"
+}
+
 // Inject writes the context's active span as a traceparent header, so an
 // outbound HTTP request continues the trace on the far side. No-op when
 // the context has no span.
 func Inject(ctx context.Context, h http.Header) {
-	s := SpanFromContext(ctx)
-	if s == nil {
-		return
+	if tp := SpanFromContext(ctx).Traceparent(); tp != "" {
+		h.Set(TraceparentHeader, tp)
 	}
-	h.Set(TraceparentHeader, "00-"+s.TraceID.String()+"-"+s.ID.String()+"-01")
 }
 
 // Extract parses an inbound traceparent header into a context marker
@@ -432,7 +443,13 @@ func Inject(ctx context.Context, h http.Header) {
 // Returns ctx unchanged when the header is absent or malformed —
 // propagation is best-effort by design.
 func Extract(ctx context.Context, h http.Header) context.Context {
-	raw := h.Get(TraceparentHeader)
+	return WithTraceparent(ctx, h.Get(TraceparentHeader))
+}
+
+// WithTraceparent is Extract for a traceparent value that arrived
+// outside an HTTP header (a JSON field, a queue message). Malformed or
+// empty values leave the context unchanged.
+func WithTraceparent(ctx context.Context, raw string) context.Context {
 	if raw == "" {
 		return ctx
 	}

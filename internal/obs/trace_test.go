@@ -106,6 +106,35 @@ func TestTraceparentRoundTrip(t *testing.T) {
 	srv.Finish()
 }
 
+// TestTraceparentValueRoundTrip covers the header-free path the cluster
+// uses: a span rendered with Span.Traceparent, carried in a JSON body,
+// and re-rooted via WithTraceparent on the far side.
+func TestTraceparentValueRoundTrip(t *testing.T) {
+	tr := NewTracer(8)
+	_, sp := tr.StartRoot(context.Background(), "coordinator.lease")
+	tp := sp.Traceparent()
+	if tp == "" {
+		t.Fatal("Traceparent() empty for a live span")
+	}
+	_, remote := tr.StartRoot(WithTraceparent(context.Background(), tp), "cluster.item")
+	if remote.TraceID != sp.TraceID {
+		t.Error("remote root did not continue the trace ID")
+	}
+	if remote.Parent != sp.ID {
+		t.Error("remote root not parented under the lease span")
+	}
+	sp.Finish()
+	remote.Finish()
+
+	var nilSpan *Span
+	if got := nilSpan.Traceparent(); got != "" {
+		t.Errorf("nil span Traceparent() = %q, want empty", got)
+	}
+	if ctx := WithTraceparent(context.Background(), "garbage"); SpanFromContext(ctx) != nil {
+		t.Error("malformed traceparent value produced a span context")
+	}
+}
+
 func TestExtractRejectsMalformedHeaders(t *testing.T) {
 	tr := NewTracer(8)
 	for _, raw := range []string{

@@ -1,0 +1,167 @@
+// Package retry is a small, deterministic-by-injection retry helper for
+// the cluster's HTTP calls: bounded attempts, exponential backoff with
+// multiplicative jitter, and context-aware cancellation.
+//
+// The policy's randomness and clock are injectable (Rand, Sleep), so the
+// exact backoff schedule is unit-testable without a single time.Sleep.
+// Production callers leave both nil and get real timers and math/rand.
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy describes one bounded retry schedule. The zero value is not
+// useful; Default() is the cluster's production schedule.
+type Policy struct {
+	// Attempts is the total number of tries (first call included); <= 1
+	// means no retries.
+	Attempts int
+
+	// Base is the delay before the first retry; retry n waits
+	// Base * Factor^(n-1), capped at Max.
+	Base time.Duration
+
+	// Max caps a single backoff delay (0 = uncapped).
+	Max time.Duration
+
+	// Factor is the exponential growth rate (default 2).
+	Factor float64
+
+	// Jitter is the multiplicative jitter fraction in [0, 1): each delay
+	// is scaled by a uniform factor in [1-Jitter, 1+Jitter], so a fleet
+	// of workers retrying the same dead coordinator does not thunder in
+	// lockstep.
+	Jitter float64
+
+	// Rand returns a uniform float64 in [0, 1); nil uses math/rand.
+	// Injected by tests to pin the jitter.
+	Rand func() float64
+
+	// Sleep waits for d or until the context ends; nil uses a real
+	// timer. Injected by tests as the fake clock.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Default is the worker fleet's production schedule: 5 attempts spanning
+// roughly 100ms..1.6s of backoff (±20% jitter), about three seconds of
+// patience before a call is declared failed.
+func Default() Policy {
+	return Policy{Attempts: 5, Base: 100 * time.Millisecond, Max: 2 * time.Second, Factor: 2, Jitter: 0.2}
+}
+
+// permanentError marks an error that must not be retried.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// Permanent wraps an error so Do returns it immediately without further
+// attempts — the caller's signal for "the server understood the request
+// and said no" (an HTTP 4xx), where retrying is useless.
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// IsPermanent reports whether err carries the Permanent marker.
+func IsPermanent(err error) bool {
+	var pe *permanentError
+	return errors.As(err, &pe)
+}
+
+// Delay returns the backoff before retry number retryN (1-based), given
+// a jitter draw r in [0, 1). It is a pure function of its inputs — the
+// deterministic heart of the schedule, tested exhaustively.
+func (p Policy) Delay(retryN int, r float64) time.Duration {
+	if retryN < 1 || p.Base <= 0 {
+		return 0
+	}
+	factor := p.Factor
+	if factor <= 0 {
+		factor = 2
+	}
+	d := float64(p.Base)
+	for i := 1; i < retryN; i++ {
+		d *= factor
+		if p.Max > 0 && d > float64(p.Max) {
+			d = float64(p.Max)
+			break
+		}
+	}
+	if p.Max > 0 && d > float64(p.Max) {
+		d = float64(p.Max)
+	}
+	if p.Jitter > 0 {
+		// Uniform in [1-Jitter, 1+Jitter].
+		d *= 1 - p.Jitter + 2*p.Jitter*r
+	}
+	return time.Duration(d)
+}
+
+// Do calls f up to p.Attempts times, backing off between attempts. It
+// returns nil on the first success, the context error as soon as the
+// context ends (mid-call or mid-backoff), a Permanent error immediately,
+// and otherwise the last attempt's error wrapped with the attempt count.
+func (p Policy) Do(ctx context.Context, f func() error) error {
+	attempts := p.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	randf := p.Rand
+	if randf == nil {
+		randf = rand.Float64
+	}
+	sleep := p.Sleep
+	if sleep == nil {
+		sleep = realSleep
+	}
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := f()
+		if err == nil {
+			return nil
+		}
+		if IsPermanent(err) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		lastErr = err
+		if attempt >= attempts {
+			break
+		}
+		if err := sleep(ctx, p.Delay(attempt, randf())); err != nil {
+			return err
+		}
+	}
+	if attempts > 1 {
+		return fmt.Errorf("after %d attempts: %w", attempts, lastErr)
+	}
+	return lastErr
+}
+
+// realSleep is the production Sleep: a timer racing the context.
+func realSleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,200 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestDelaySchedule pins the exact exponential schedule with the jitter
+// draw fixed at the midpoint (r=0.5 scales by 1.0).
+func TestDelaySchedule(t *testing.T) {
+	p := Policy{Attempts: 6, Base: 100 * time.Millisecond, Max: 2 * time.Second, Factor: 2, Jitter: 0.2}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1600 * time.Millisecond,
+		2 * time.Second, // capped
+		2 * time.Second, // stays capped
+	}
+	for i, w := range want {
+		if got := p.Delay(i+1, 0.5); got != w {
+			t.Errorf("Delay(%d, 0.5) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestDelayJitterBounds pins the jitter extremes: r=0 scales by
+// 1-Jitter, r→1 by 1+Jitter.
+func TestDelayJitterBounds(t *testing.T) {
+	p := Policy{Base: time.Second, Factor: 2, Jitter: 0.2}
+	if got := p.Delay(1, 0); got != 800*time.Millisecond {
+		t.Errorf("Delay(1, 0) = %v, want 800ms", got)
+	}
+	if got := p.Delay(1, 1); got != 1200*time.Millisecond {
+		t.Errorf("Delay(1, 1) = %v, want 1200ms", got)
+	}
+	// No jitter: exact.
+	p.Jitter = 0
+	if got := p.Delay(1, 0.99); got != time.Second {
+		t.Errorf("jitterless Delay(1) = %v, want 1s", got)
+	}
+}
+
+func TestDelayZeroRetryN(t *testing.T) {
+	p := Default()
+	if got := p.Delay(0, 0.5); got != 0 {
+		t.Errorf("Delay(0) = %v, want 0", got)
+	}
+}
+
+// fakeClock records requested sleeps without sleeping.
+type fakeClock struct{ slept []time.Duration }
+
+func (c *fakeClock) sleep(ctx context.Context, d time.Duration) error {
+	c.slept = append(c.slept, d)
+	return ctx.Err()
+}
+
+// TestDoBackoffScheduleDeterministic drives Do with an injected clock and
+// rand: the recorded sleeps must match the pure Delay schedule exactly,
+// and no real time may pass.
+func TestDoBackoffScheduleDeterministic(t *testing.T) {
+	clock := &fakeClock{}
+	p := Policy{
+		Attempts: 4, Base: 50 * time.Millisecond, Max: time.Second,
+		Factor: 2, Jitter: 0.5,
+		Rand:  func() float64 { return 0.5 }, // midpoint: no jitter displacement
+		Sleep: clock.sleep,
+	}
+	calls := 0
+	start := time.Now()
+	err := p.Do(context.Background(), func() error {
+		calls++
+		return errors.New("boom")
+	})
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Do with injected clock took %v of real time", elapsed)
+	}
+	if calls != 4 {
+		t.Fatalf("f called %d times, want 4", calls)
+	}
+	if err == nil || err.Error() != "after 4 attempts: boom" {
+		t.Fatalf("err = %v, want wrapped last error", err)
+	}
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond, 200 * time.Millisecond}
+	if len(clock.slept) != len(want) {
+		t.Fatalf("slept %v, want %v", clock.slept, want)
+	}
+	for i, w := range want {
+		if clock.slept[i] != w {
+			t.Errorf("sleep %d = %v, want %v", i, clock.slept[i], w)
+		}
+	}
+}
+
+func TestDoFirstSuccessNoSleep(t *testing.T) {
+	clock := &fakeClock{}
+	p := Policy{Attempts: 5, Base: time.Second, Sleep: clock.sleep}
+	if err := p.Do(context.Background(), func() error { return nil }); err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if len(clock.slept) != 0 {
+		t.Fatalf("slept %v on immediate success", clock.slept)
+	}
+}
+
+func TestDoEventualSuccess(t *testing.T) {
+	clock := &fakeClock{}
+	p := Policy{Attempts: 5, Base: time.Millisecond, Sleep: clock.sleep, Rand: func() float64 { return 0 }}
+	calls := 0
+	err := p.Do(context.Background(), func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d, want success on call 3", err, calls)
+	}
+	if len(clock.slept) != 2 {
+		t.Fatalf("slept %d times, want 2", len(clock.slept))
+	}
+}
+
+func TestDoPermanentStopsImmediately(t *testing.T) {
+	clock := &fakeClock{}
+	p := Policy{Attempts: 5, Base: time.Second, Sleep: clock.sleep}
+	calls := 0
+	base := errors.New("404 not found")
+	err := p.Do(context.Background(), func() error {
+		calls++
+		return Permanent(fmt.Errorf("lease: %w", base))
+	})
+	if calls != 1 {
+		t.Fatalf("permanent error retried: %d calls", calls)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("err = %v, want wrapped base error", err)
+	}
+	if !IsPermanent(err) {
+		t.Fatalf("IsPermanent(%v) = false", err)
+	}
+	if len(clock.slept) != 0 {
+		t.Fatalf("slept %v after permanent error", clock.slept)
+	}
+}
+
+// TestDoContextCanceledMidBackoff: the injected clock returns the
+// context error, exactly as the real timer path does when the context
+// ends during a backoff wait.
+func TestDoContextCanceledMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := Policy{
+		Attempts: 5, Base: time.Second,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel()
+			return ctx.Err()
+		},
+	}
+	calls := 0
+	err := p.Do(ctx, func() error { calls++; return errors.New("boom") })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no attempt after cancellation)", calls)
+	}
+}
+
+func TestDoContextAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := 0
+	err := Default().Do(ctx, func() error { calls++; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 0 {
+		t.Fatalf("f called on dead context")
+	}
+}
+
+func TestDoSingleAttemptErrorUnwrapped(t *testing.T) {
+	base := errors.New("boom")
+	err := Policy{Attempts: 1}.Do(context.Background(), func() error { return base })
+	if err != base {
+		t.Fatalf("err = %v, want the bare error (no attempt wrapping)", err)
+	}
+}
+
+func TestPermanentNil(t *testing.T) {
+	if Permanent(nil) != nil {
+		t.Fatal("Permanent(nil) != nil")
+	}
+}

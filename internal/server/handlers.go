@@ -193,6 +193,16 @@ func (s *Server) routes() {
 	if s.tracer != nil {
 		s.mux.HandleFunc("GET /v1/traces", s.instrumented("/v1/traces", s.handleTraces))
 	}
+	// Distributed mode: the lease protocol and the artifact store are
+	// mounted bare (no per-request spans or route metrics) — worker
+	// polling is high-frequency operational traffic, and lease spans are
+	// already rooted in each job's trace by the coordinator.
+	if s.cfg.Cluster != nil {
+		s.mux.Handle("/cluster/v1/", http.StripPrefix("/cluster/v1", s.cfg.Cluster.Handler()))
+		if s.cfg.Store != nil {
+			s.mux.Handle("/store/v1/", http.StripPrefix("/store/v1", s.cfg.Store.Handler()))
+		}
+	}
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metricz", s.handleMetricz)
 	s.mux.HandleFunc("/stats", s.handleMetricz)

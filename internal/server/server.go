@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dcg/internal/cluster"
 	"dcg/internal/core"
 	"dcg/internal/obs"
 	"dcg/internal/simrun"
@@ -92,6 +93,16 @@ type Config struct {
 	// jobs checkpoint to subdirectories of it, so jobs interrupted by a
 	// server restart are resumable by resubmitting the same spec.
 	SweepDir string
+
+	// Cluster, when set (with SweepDir), turns the server into a sweep
+	// coordinator: submitted sweeps execute through the worker fleet
+	// instead of the in-process engine, the lease protocol is mounted
+	// under /cluster/v1/, and — when Store is also set — the artifact
+	// store is served under /store/v1/ so workers can remote-tier to it.
+	// The hub's dcg_cluster_* instruments are registered on /metrics.
+	// Run in-process cluster.Workers against it for a single-binary
+	// fleet, or point dcgworker processes at the listener.
+	Cluster *cluster.Hub
 
 	// Tracer, when set, enables span tracing: the middleware roots one
 	// span per /v1 request (continuing an inbound W3C traceparent),
@@ -202,6 +213,10 @@ func newServer(cfg Config, exec *simrun.Exec) *Server {
 			Log:     cfg.Logger,
 			Metrics: sweep.NewMetrics(s.m.reg),
 		}, cfg.SweepDir, cfg.Logger, s.tracer)
+		if cfg.Cluster != nil {
+			s.sweeps.hub = cfg.Cluster
+			cfg.Cluster.Register(s.m.reg)
+		}
 	}
 	s.routes()
 	s.publishExpvar()

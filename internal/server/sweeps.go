@@ -12,6 +12,7 @@ import (
 	"regexp"
 	"sync"
 
+	"dcg/internal/cluster"
 	"dcg/internal/obs"
 	"dcg/internal/sweep"
 )
@@ -71,7 +72,8 @@ type sweepJobs struct {
 	engine *sweep.Engine
 	root   string
 	log    *slog.Logger
-	tracer *obs.Tracer // nil = untraced jobs
+	tracer *obs.Tracer  // nil = untraced jobs
+	hub    *cluster.Hub // nil = single-node engine execution
 
 	mu   sync.Mutex
 	jobs map[string]*sweepJob
@@ -128,16 +130,24 @@ func (sj *sweepJobs) submit(spec *sweep.Spec) (*sweepJob, bool) {
 	return j, true
 }
 
-// run drives one job to completion and records its terminal state.
+// run drives one job to completion and records its terminal state. In
+// cluster mode the job is registered with the hub and executed by the
+// worker fleet; either way the same checkpoint files are written, so a
+// job can move between modes across restarts.
 func (sj *sweepJobs) run(ctx context.Context, j *sweepJob, spec *sweep.Spec) {
 	defer close(j.done)
 	defer j.cancel()
 	var sum *sweep.Summary
 	var err error
-	if _, statErr := os.Stat(filepath.Join(j.dir, sweep.ManifestFile)); statErr == nil {
-		sum, err = sj.engine.Resume(ctx, j.dir)
-	} else {
-		sum, err = sj.engine.Start(ctx, spec, j.dir)
+	switch {
+	case sj.hub != nil:
+		sum, err = sj.hub.RunJob(ctx, j.ID, j.dir, spec)
+	default:
+		if _, statErr := os.Stat(filepath.Join(j.dir, sweep.ManifestFile)); statErr == nil {
+			sum, err = sj.engine.Resume(ctx, j.dir)
+		} else {
+			sum, err = sj.engine.Start(ctx, spec, j.dir)
+		}
 	}
 	j.mu.Lock()
 	j.summary, j.err = sum, err

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"time"
 
+	"dcg/internal/cluster"
 	"dcg/internal/obs"
 	"dcg/internal/sweep"
 )
@@ -80,11 +81,17 @@ type sweepProgressView struct {
 	Pending int    `json:"pending"`
 	Done    bool   `json:"done"`
 
-	// Derived from the job's finished sweep.item spans; omitted when the
-	// job is untraced, its spans were evicted, or no item has finished.
+	// Derived from the job's finished sweep.item spans (cluster.lease
+	// spans in distributed mode); omitted when the job is untraced, its
+	// spans were evicted, or no item has finished.
 	ItemsFinished float64 `json:"items_finished,omitempty"`
 	ItemsPerSec   float64 `json:"items_per_sec,omitempty"`
 	ETASeconds    float64 `json:"eta_seconds,omitempty"`
+
+	// Workers is the per-worker breakdown (claims, completions, failures,
+	// heartbeat age), present only while a cluster-mode job is running on
+	// this coordinator.
+	Workers []cluster.WorkerProgress `json:"workers,omitempty"`
 }
 
 // handleSweepProgress reports one job's progress with span-derived
@@ -112,6 +119,9 @@ func (s *Server) handleSweepProgress(w http.ResponseWriter, r *http.Request) {
 			addSpanThroughput(&pv, s.tracer.Spans(obs.SpanFilter{Trace: tid}))
 		}
 	}
+	if s.sweeps.hub != nil {
+		pv.Workers = s.sweeps.hub.JobWorkers(id)
+	}
 	s.writeJSON(w, http.StatusOK, pv)
 }
 
@@ -127,12 +137,13 @@ func fillProgressCounts(pv *sweepProgressView, st *sweep.Status) {
 // item spans: rate = finished items over the wall-clock window they span,
 // ETA = pending items at that rate. Item spans include queueing inside the
 // engine's worker pool, so the window reflects delivered throughput, not
-// per-item service time.
+// per-item service time. Distributed jobs have cluster.lease spans (one
+// per successful lease execution) instead of sweep.item; both count.
 func addSpanThroughput(pv *sweepProgressView, spans []*obs.Span) {
 	var n int
 	var first, last time.Time
 	for _, sp := range spans {
-		if sp.Name != "sweep.item" {
+		if sp.Name != "sweep.item" && (sp.Name != "cluster.lease" || sp.Err != "") {
 			continue
 		}
 		n++

@@ -1,0 +1,201 @@
+package store_test
+
+import (
+	"context"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dcg/internal/core"
+	"dcg/internal/simrun"
+	"dcg/internal/store"
+)
+
+// The store-backend conformance suite: every simrun.PersistentTier the
+// cluster can be configured with — the disk store and the remote tier —
+// must satisfy the same contract: lossless round-trips, silent misses
+// for absent keys, loud eviction of corrupt artifacts (observed only as
+// a miss), and concurrent puts of one key collapsing to one artifact.
+
+// backend is one store implementation under conformance test.
+type backend struct {
+	tier simrun.PersistentTier
+	// dirs are the store roots holding artifact copies, every one of
+	// which must be corrupted to make an artifact unservable (the remote
+	// tier keeps a local copy and a remote copy).
+	dirs []string
+}
+
+// TestBackendConformance runs the shared suite against each backend.
+func TestBackendConformance(t *testing.T) {
+	backends := map[string]func(t *testing.T) backend{
+		"disk": func(t *testing.T) backend {
+			dir := t.TempDir()
+			return backend{tier: open(t, dir, 0), dirs: []string{dir}}
+		},
+		"remote": func(t *testing.T) backend {
+			serverDir := t.TempDir()
+			srv := httptest.NewServer(open(t, serverDir, 0).Handler())
+			t.Cleanup(srv.Close)
+			localDir := t.TempDir()
+			r := store.NewRemote(srv.URL, open(t, localDir, 0), nil)
+			r.Retry.Attempts = 2
+			r.Retry.Sleep = noSleep
+			return backend{tier: r, dirs: []string{localDir, serverDir}}
+		},
+	}
+	for name, mk := range backends {
+		t.Run(name, func(t *testing.T) {
+			t.Run("ResultRoundTrip", func(t *testing.T) { conformResultRoundTrip(t, mk(t)) })
+			t.Run("TimingRoundTrip", func(t *testing.T) { conformTimingRoundTrip(t, mk(t)) })
+			t.Run("MissOnAbsent", func(t *testing.T) { conformMissOnAbsent(t, mk(t)) })
+			t.Run("CorruptionEvicted", func(t *testing.T) { conformCorruptionEvicted(t, mk(t)) })
+			t.Run("ConcurrentPutSingleflight", func(t *testing.T) { conformConcurrentPut(t, mk(t)) })
+		})
+	}
+}
+
+// noSleep is the injected clock for retrying backends: backoffs are
+// skipped (honouring cancellation), so no conformance test ever sleeps.
+func noSleep(ctx context.Context, d time.Duration) error { return ctx.Err() }
+
+func conformKey(bench string) simrun.Key {
+	return simrun.Key{Bench: bench, Scheme: core.SchemeDCG, Insts: 5000, Warmup: 1000}
+}
+
+func conformResultRoundTrip(t *testing.T, b backend) {
+	k := conformKey("gzip")
+	orig, err := simrun.Run(context.Background(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.tier.PutResult(context.Background(), k, orig)
+	got, ok := b.tier.GetResult(context.Background(), k)
+	if !ok {
+		t.Fatal("persisted result not found")
+	}
+	if !reflect.DeepEqual(got, orig) {
+		t.Fatalf("round-tripped result differs:\ngot  %+v\nwant %+v", got, orig)
+	}
+}
+
+func conformTimingRoundTrip(t *testing.T, b backend) {
+	k := conformKey("mcf")
+	_, tm, err := simrun.Capture(context.Background(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.tier.PutTiming(context.Background(), k.TimingKey(), tm)
+	got, ok := b.tier.GetTiming(context.Background(), k.TimingKey())
+	if !ok {
+		t.Fatal("persisted timing not found")
+	}
+	if got.Benchmark != tm.Benchmark || got.CPUStats != tm.CPUStats ||
+		got.Machine != tm.Machine || got.Util != tm.Util || got.Stall != tm.Stall {
+		t.Fatal("timing metadata changed across the round trip")
+	}
+	// The replay contract: a reloaded trace must evaluate bit-identically.
+	kd := k
+	kd.Scheme = core.SchemeDCG
+	fromOrig, err := simrun.Evaluate(kd, tm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStore, err := simrun.Evaluate(kd, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromStore, fromOrig) {
+		t.Fatal("replay from the reloaded trace differs from the original")
+	}
+}
+
+func conformMissOnAbsent(t *testing.T, b backend) {
+	if _, ok := b.tier.GetResult(context.Background(), conformKey("absent")); ok {
+		t.Fatal("backend invented a result for a key never stored")
+	}
+	if _, ok := b.tier.GetTiming(context.Background(), conformKey("absent").TimingKey()); ok {
+		t.Fatal("backend invented a timing for a key never stored")
+	}
+}
+
+// conformCorruptionEvicted flips a byte in every resident copy of an
+// artifact: the next Get must observe only a miss, and every corrupt
+// copy must have been evicted so the recomputed artifact overwrites it.
+func conformCorruptionEvicted(t *testing.T, b backend) {
+	k := conformKey("gzip")
+	orig, err := simrun.Run(context.Background(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.tier.PutResult(context.Background(), k, orig)
+	corrupted := 0
+	for _, dir := range b.dirs {
+		for _, path := range artifacts(t, dir) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0xFF
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("no artifact copies found to corrupt")
+	}
+	if _, ok := b.tier.GetResult(context.Background(), k); ok {
+		t.Fatal("backend served a corrupt artifact")
+	}
+	for _, dir := range b.dirs {
+		if left := artifacts(t, dir); len(left) != 0 {
+			t.Fatalf("corrupt artifacts not evicted from %s: %v", dir, left)
+		}
+	}
+	// The tier is a cache: a re-put after the eviction must serve again.
+	b.tier.PutResult(context.Background(), k, orig)
+	if _, ok := b.tier.GetResult(context.Background(), k); !ok {
+		t.Fatal("backend did not recover after corruption eviction")
+	}
+}
+
+// conformConcurrentPut hammers one key from many goroutines: the
+// singleflight contract is exactly one resident artifact per store, and
+// a subsequent Get serves it intact.
+func conformConcurrentPut(t *testing.T, b backend) {
+	k := conformKey("gzip")
+	orig, err := simrun.Run(context.Background(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b.tier.PutResult(context.Background(), k, orig)
+		}()
+	}
+	wg.Wait()
+	for _, dir := range b.dirs {
+		switch n := len(artifacts(t, dir)); n {
+		case 0:
+			t.Fatalf("no artifact resident in %s after concurrent puts", dir)
+		case 1:
+		default:
+			t.Fatalf("%d artifacts resident in %s after concurrent puts of one key", n, dir)
+		}
+	}
+	got, ok := b.tier.GetResult(context.Background(), k)
+	if !ok {
+		t.Fatal("artifact missing after concurrent puts")
+	}
+	if !reflect.DeepEqual(got, orig) {
+		t.Fatal("artifact corrupted by concurrent puts")
+	}
+}

@@ -1,0 +1,196 @@
+package store_test
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dcg/internal/core"
+	"dcg/internal/simrun"
+	"dcg/internal/store"
+)
+
+// newRemote wires a remote tier over a fresh coordinator-side store,
+// with injected no-op sleeps so retrying tests never wait.
+func newRemote(t *testing.T) (*store.Remote, *store.Store) {
+	t.Helper()
+	origin := open(t, t.TempDir(), 0)
+	srv := httptest.NewServer(origin.Handler())
+	t.Cleanup(srv.Close)
+	r := store.NewRemote(srv.URL, open(t, t.TempDir(), 0), nil)
+	r.Retry.Sleep = noSleep
+	return r, origin
+}
+
+// TestRemoteReadThrough seeds only the origin store and proves a worker
+// with a cold local cache fetches the artifact remotely exactly once:
+// the fetch installs it locally, so the second Get is a pure local hit.
+func TestRemoteReadThrough(t *testing.T) {
+	k := simrun.Key{Bench: "gzip", Scheme: core.SchemeDCG, Insts: 5000, Warmup: 1000}
+	orig, err := simrun.Run(context.Background(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, origin := newRemote(t)
+	origin.PutResult(context.Background(), k, orig)
+
+	got, ok := r.GetResult(context.Background(), k)
+	if !ok {
+		t.Fatal("remote tier missed an artifact the origin holds")
+	}
+	if !reflect.DeepEqual(got, orig) {
+		t.Fatal("artifact changed crossing the remote tier")
+	}
+	if st := r.Stats(); st.Hits != 1 {
+		t.Fatalf("remote hits = %d, want 1", st.Hits)
+	}
+	if _, ok := r.GetResult(context.Background(), k); !ok {
+		t.Fatal("artifact not served after read-through install")
+	}
+	if st := r.Stats(); st.Hits != 1 {
+		t.Fatalf("second get went remote (hits = %d); read-through did not install locally", st.Hits)
+	}
+}
+
+// TestRemoteWriteBack puts through the remote tier and proves the
+// artifact landed on the origin: a second worker with its own cold
+// cache can read it.
+func TestRemoteWriteBack(t *testing.T) {
+	k := simrun.Key{Bench: "gzip", Scheme: core.SchemeDCG, Insts: 5000, Warmup: 1000}
+	orig, err := simrun.Run(context.Background(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, origin := newRemote(t)
+	r.PutResult(context.Background(), k, orig)
+	if st := r.Stats(); st.Writes != 1 {
+		t.Fatalf("remote writes = %d, want 1", st.Writes)
+	}
+	if _, ok := origin.GetResult(context.Background(), k); !ok {
+		t.Fatal("write-back did not reach the origin store")
+	}
+}
+
+// TestRemoteMissIsNotAnError proves a 404 is a silent miss: no retries
+// burned, no error counted.
+func TestRemoteMissIsNotAnError(t *testing.T) {
+	var calls atomic.Int32
+	r, _ := newRemote(t)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		calls.Add(1)
+		http.NotFound(w, req)
+	}))
+	t.Cleanup(srv.Close)
+	r2 := store.NewRemote(srv.URL, r.Local(), nil)
+	r2.Retry.Sleep = noSleep
+	k := simrun.Key{Bench: "gzip", Scheme: core.SchemeDCG, Insts: 5000, Warmup: 1000}
+	if _, ok := r2.GetResult(context.Background(), k); ok {
+		t.Fatal("got a result from a 404ing origin")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("a 404 burned %d attempts, want 1 (no retry on miss)", n)
+	}
+	st := r2.Stats()
+	if st.Misses != 1 || st.Errors != 0 {
+		t.Fatalf("stats after 404 = %+v, want 1 miss / 0 errors", st)
+	}
+}
+
+// TestRemoteRetriesServerErrors proves transient 5xxs are retried and a
+// late success still serves the artifact.
+func TestRemoteRetriesServerErrors(t *testing.T) {
+	k := simrun.Key{Bench: "gzip", Scheme: core.SchemeDCG, Insts: 5000, Warmup: 1000}
+	orig, err := simrun.Run(context.Background(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	originStore := open(t, t.TempDir(), 0)
+	originStore.PutResult(context.Background(), k, orig)
+	handler := originStore.Handler()
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "transient", http.StatusServiceUnavailable)
+			return
+		}
+		handler.ServeHTTP(w, req)
+	}))
+	t.Cleanup(srv.Close)
+	r := store.NewRemote(srv.URL, open(t, t.TempDir(), 0), nil)
+	r.Retry.Sleep = noSleep
+	if _, ok := r.GetResult(context.Background(), k); !ok {
+		t.Fatal("remote get did not survive transient 5xxs")
+	}
+	if n := calls.Load(); n != 3 {
+		t.Fatalf("origin saw %d calls, want 3 (two failures + success)", n)
+	}
+}
+
+// TestRemotePutFailureAbsorbed proves the tier contract under a dead
+// origin: the local copy still lands, the failure is counted, nothing
+// surfaces to the caller.
+func TestRemotePutFailureAbsorbed(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	t.Cleanup(srv.Close)
+	r := store.NewRemote(srv.URL, open(t, t.TempDir(), 0), nil)
+	r.Retry.Attempts = 2
+	r.Retry.Sleep = noSleep
+	k := simrun.Key{Bench: "gzip", Scheme: core.SchemeDCG, Insts: 5000, Warmup: 1000}
+	orig, err := simrun.Run(context.Background(), k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.PutResult(context.Background(), k, orig)
+	if _, ok := r.Local().GetResult(context.Background(), k); !ok {
+		t.Fatal("local write-back copy missing after origin failure")
+	}
+	st := r.Stats()
+	if st.Errors != 1 || st.Writes != 0 {
+		t.Fatalf("stats after failed upload = %+v, want 1 error / 0 writes", st)
+	}
+}
+
+// TestHandlerRejectsMalformedRequests walks the handler's input
+// validation: bad addresses 404, bad frames 400, bad methods 405 — and
+// none of them can touch the object tree.
+func TestHandlerRejectsMalformedRequests(t *testing.T) {
+	dir := t.TempDir()
+	srv := httptest.NewServer(open(t, dir, 0).Handler())
+	t.Cleanup(srv.Close)
+	goodAddr := strings.Repeat("ab", 32)
+	cases := []struct {
+		method, path, body string
+		want               int
+	}{
+		{"GET", "/objects/" + goodAddr + ".res", "", http.StatusNotFound}, // absent
+		{"GET", "/objects/nothex.res", "", http.StatusNotFound},           // bad addr
+		{"GET", "/objects/" + goodAddr + ".exe", "", http.StatusNotFound}, // bad kind
+		{"GET", "/objects/../../etc/passwd", "", http.StatusNotFound},     // traversal
+		{"PUT", "/objects/" + goodAddr + ".res", "not a frame", http.StatusBadRequest},
+		{"POST", "/objects/" + goodAddr + ".res", "", http.StatusMethodNotAllowed},
+		{"DELETE", "/objects/" + goodAddr + ".res", "", http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s %s = %d, want %d", tc.method, tc.path, resp.StatusCode, tc.want)
+		}
+	}
+	if left := artifacts(t, dir); len(left) != 0 {
+		t.Fatalf("malformed requests left artifacts behind: %v", left)
+	}
+}

@@ -26,17 +26,13 @@
 package store
 
 import (
-	"bytes"
-	"compress/gzip"
 	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/hex"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"io/fs"
 	"log/slog"
 	"os"
@@ -49,7 +45,6 @@ import (
 	"dcg/internal/core"
 	"dcg/internal/obs"
 	"dcg/internal/simrun"
-	"dcg/internal/usagetrace"
 )
 
 const (
@@ -224,22 +219,9 @@ func (s *Store) GetResult(ctx context.Context, k simrun.Key) (_ *core.Result, ok
 		return nil, false
 	}
 	sp.SetAttrInt("bytes", int64(len(payload)))
-	gz, err := gzip.NewReader(bytes.NewReader(payload))
+	res, err := decodeResultPayload(payload)
 	if err != nil {
-		s.corrupt(path, fmt.Errorf("result payload not gzip: %w", err))
-		return nil, false
-	}
-	raw, err := io.ReadAll(gz)
-	if err == nil {
-		err = gz.Close()
-	}
-	if err != nil {
-		s.corrupt(path, fmt.Errorf("result gzip stream: %w", err))
-		return nil, false
-	}
-	res := new(core.Result)
-	if err := json.Unmarshal(raw, res); err != nil {
-		s.corrupt(path, fmt.Errorf("result JSON: %w", err))
+		s.corrupt(path, err)
 		return nil, false
 	}
 	s.touch(path)
@@ -254,27 +236,7 @@ func (s *Store) PutResult(ctx context.Context, k simrun.Key, r *core.Result) {
 	sp.SetAttr("scheme", k.Scheme.String())
 	defer sp.Finish()
 	path := s.path(resultAddr(k), extResult)
-	s.put(path, kindResult, func(w io.Writer) error {
-		gz := gzip.NewWriter(w)
-		if err := json.NewEncoder(gz).Encode(r); err != nil {
-			gz.Close()
-			return err
-		}
-		return gz.Close()
-	})
-}
-
-// timingMeta is the JSON header of a timing artifact: every core.Timing
-// field except the trace, which follows it gzip-framed.
-type timingMeta struct {
-	Benchmark      string
-	Machine        json.RawMessage // config.Config, kept raw to round-trip exactly
-	CPUStats       json.RawMessage
-	Util           core.Utilization
-	Stall          core.StallStack
-	BranchAccuracy float64
-	DL1MissRate    float64
-	L2MissRate     float64
+	s.put(path, kindResult, func() ([]byte, error) { return encodeResultPayload(r) })
 }
 
 // GetTiming implements simrun.PersistentTier.
@@ -289,38 +251,11 @@ func (s *Store) GetTiming(ctx context.Context, k simrun.TimingKey) (_ *core.Timi
 		return nil, false
 	}
 	sp.SetAttrInt("bytes", int64(len(payload)))
-	metaLen, n := binary.Uvarint(payload)
-	if n <= 0 || metaLen > uint64(len(payload)-n) {
-		s.corrupt(path, errors.New("timing meta length out of range"))
-		return nil, false
-	}
-	var meta timingMeta
-	if err := json.Unmarshal(payload[n:n+int(metaLen)], &meta); err != nil {
-		s.corrupt(path, fmt.Errorf("timing meta JSON: %w", err))
-		return nil, false
-	}
-	tm := &core.Timing{
-		Benchmark:      meta.Benchmark,
-		Util:           meta.Util,
-		Stall:          meta.Stall,
-		BranchAccuracy: meta.BranchAccuracy,
-		DL1MissRate:    meta.DL1MissRate,
-		L2MissRate:     meta.L2MissRate,
-	}
-	if err := json.Unmarshal(meta.Machine, &tm.Machine); err != nil {
-		s.corrupt(path, fmt.Errorf("timing machine JSON: %w", err))
-		return nil, false
-	}
-	if err := json.Unmarshal(meta.CPUStats, &tm.CPUStats); err != nil {
-		s.corrupt(path, fmt.Errorf("timing cpu stats JSON: %w", err))
-		return nil, false
-	}
-	tr, err := usagetrace.ReadTrace(bytes.NewReader(payload[n+int(metaLen):]))
+	tm, err := decodeTimingPayload(payload)
 	if err != nil {
-		s.corrupt(path, fmt.Errorf("timing trace: %w", err))
+		s.corrupt(path, err)
 		return nil, false
 	}
-	tm.Trace = tr
 	s.touch(path)
 	s.hits.Add(1)
 	return tm, true
@@ -333,34 +268,7 @@ func (s *Store) PutTiming(ctx context.Context, k simrun.TimingKey, t *core.Timin
 	sp.SetAttr("channels", k.Channels)
 	defer sp.Finish()
 	path := s.path(timingAddr(k), extTiming)
-	s.put(path, kindTiming, func(w io.Writer) error {
-		machine, err := json.Marshal(t.Machine)
-		if err != nil {
-			return err
-		}
-		stats, err := json.Marshal(t.CPUStats)
-		if err != nil {
-			return err
-		}
-		meta, err := json.Marshal(timingMeta{
-			Benchmark: t.Benchmark, Machine: machine, CPUStats: stats,
-			Util: t.Util, Stall: t.Stall,
-			BranchAccuracy: t.BranchAccuracy,
-			DL1MissRate:    t.DL1MissRate,
-			L2MissRate:     t.L2MissRate,
-		})
-		if err != nil {
-			return err
-		}
-		var lenBuf [binary.MaxVarintLen64]byte
-		if _, err := w.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(len(meta)))]); err != nil {
-			return err
-		}
-		if _, err := w.Write(meta); err != nil {
-			return err
-		}
-		return t.Trace.EncodeGzip(w)
-	})
+	s.put(path, kindTiming, func() ([]byte, error) { return encodeTimingPayload(t) })
 }
 
 // read loads and integrity-checks one artifact, returning its payload.
@@ -413,48 +321,77 @@ func decodeFrame(data []byte, kind byte) ([]byte, error) {
 	return payload, nil
 }
 
-// put frames and atomically persists one artifact: payload written by
-// fill, enveloped, flushed to a temp file, fsynced, renamed into place.
-// Failures are absorbed (counted and logged) — the store is a cache.
-// Concurrent puts of the same artifact collapse to one write.
-func (s *Store) put(path string, kind byte, fill func(io.Writer) error) {
+// claim enters the singleflight set for one artifact path; it returns
+// false when another goroutine is already writing it. A successful claim
+// must be paired with release.
+func (s *Store) claim(path string) bool {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if _, inFlight := s.writing[path]; inFlight {
-		s.mu.Unlock()
-		return
+		return false
 	}
 	s.writing[path] = struct{}{}
+	return true
+}
+
+func (s *Store) release(path string) {
+	s.mu.Lock()
+	delete(s.writing, path)
 	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		delete(s.writing, path)
-		s.mu.Unlock()
-	}()
+}
+
+// put encodes and atomically persists one artifact: payload from encode,
+// enveloped, flushed to a temp file, fsynced, renamed into place.
+// Failures are absorbed (counted and logged) — the store is a cache.
+// Concurrent puts of the same artifact collapse to one write.
+func (s *Store) put(path string, kind byte, encode func() ([]byte, error)) {
+	if !s.claim(path) {
+		return
+	}
+	defer s.release(path)
 	if _, err := os.Stat(path); err == nil {
 		return // already persisted (this process or another)
 	}
-
-	var payload bytes.Buffer
-	if err := fill(&payload); err != nil {
-		s.writeError(path, err)
-		return
-	}
-	frame := make([]byte, 0, frameOverhead+payload.Len())
-	frame = append(frame, artifactMagic...)
-	frame = append(frame, artifactVersion, kind)
-	frame = binary.LittleEndian.AppendUint64(frame, uint64(payload.Len()))
-	frame = append(frame, payload.Bytes()...)
-	frame = binary.LittleEndian.AppendUint32(frame, crc32.Checksum(payload.Bytes(), castagnoli))
-
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		s.writeError(path, err)
-		return
-	}
-	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	payload, err := encode()
 	if err != nil {
 		s.writeError(path, err)
 		return
+	}
+	if err := s.install(path, encodeFrame(kind, payload)); err != nil {
+		s.writeError(path, err)
+	}
+}
+
+// putFrame persists an already-framed artifact (a remote upload or a
+// read-through fill). The frame must have been validated by the caller;
+// the bytes land on disk verbatim, so the CRC the origin computed is the
+// CRC every later read checks. Unlike put, write failures surface — the
+// HTTP handler turns them into a 5xx.
+func (s *Store) putFrame(path string, frame []byte) error {
+	if !s.claim(path) {
+		return nil // a concurrent writer is persisting the same artifact
+	}
+	defer s.release(path)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	if err := s.install(path, frame); err != nil {
+		s.writeError(path, err)
+		return err
+	}
+	return nil
+}
+
+// install writes a framed artifact atomically (temp + fsync + rename)
+// and accounts for it.
+func (s *Store) install(path string, frame []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
 	}
 	_, err = tmp.Write(frame)
 	if err == nil {
@@ -468,12 +405,32 @@ func (s *Store) put(path string, kind byte, fill func(io.Writer) error) {
 	}
 	if err != nil {
 		os.Remove(tmp.Name())
-		s.writeError(path, err)
-		return
+		return err
 	}
 	s.writes.Add(1)
 	s.size.Add(int64(len(frame)))
 	s.maybeEvict()
+	return nil
+}
+
+// readFrame loads one artifact's raw framed bytes, validating the
+// envelope. Missing reads as a miss; corruption is loud (logged, counted,
+// evicted) and also reads as a miss. The frame is what the remote
+// handler serves, so the on-disk CRC travels with the bytes.
+func (s *Store) readFrame(path string, kind byte) ([]byte, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if !errors.Is(err, fs.ErrNotExist) {
+			s.log.Warn("store: artifact unreadable", "path", path, "err", err)
+		}
+		s.misses.Add(1)
+		return nil, false
+	}
+	if _, err := decodeFrame(data, kind); err != nil {
+		s.corrupt(path, err)
+		return nil, false
+	}
+	return data, true
 }
 
 func (s *Store) writeError(path string, err error) {

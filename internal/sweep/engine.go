@@ -8,7 +8,6 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -82,18 +81,7 @@ func (e *Engine) Start(ctx context.Context, spec *Spec, dir string) (*Summary, e
 	if dir == "" {
 		return e.run(ctx, spec, items, nil, nil, "")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("sweep: %w", err)
-	}
-	if _, err := os.Stat(filepath.Join(dir, ManifestFile)); err == nil {
-		return nil, ErrExists
-	}
-	if err := writeSpec(dir, spec); err != nil {
-		return nil, err
-	}
-	man, err := createManifest(dir, Record{
-		Name: spec.Name, SpecHash: spec.Hash(), Items: len(items),
-	})
+	man, err := CreateJob(dir, spec, items)
 	if err != nil {
 		return nil, err
 	}
@@ -107,33 +95,7 @@ func (e *Engine) Start(ctx context.Context, spec *Spec, dir string) (*Summary, e
 // a resumed job finally emits is byte-identical to an uninterrupted
 // run's.
 func (e *Engine) Resume(ctx context.Context, dir string) (*Summary, error) {
-	spec, err := Load(filepath.Join(dir, SpecFile))
-	if err != nil {
-		return nil, err
-	}
-	hdr, records, err := ReadManifest(dir)
-	if err != nil {
-		return nil, err
-	}
-	if hdr.SpecHash != spec.Hash() {
-		return nil, fmt.Errorf("sweep: %s was started from a different spec (manifest %.12s…, spec %.12s…)",
-			dir, hdr.SpecHash, spec.Hash())
-	}
-	items, err := spec.Items()
-	if err != nil {
-		return nil, err
-	}
-	if hdr.Items != len(items) {
-		return nil, fmt.Errorf("sweep: manifest in %s records %d items, spec expands to %d",
-			dir, hdr.Items, len(items))
-	}
-	done := make(map[int]*ItemResult, len(records))
-	for idx, rec := range records {
-		if rec.Status == "ok" && rec.Result != nil && idx >= 0 && idx < len(items) {
-			done[idx] = rec.Result
-		}
-	}
-	man, err := openManifest(dir)
+	spec, items, done, man, err := ResumeJob(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +124,7 @@ func (e *Engine) RunKeys(ctx context.Context, keys []simrun.Key) error {
 
 // run executes a spec's items; see runItems.
 func (e *Engine) run(ctx context.Context, spec *Spec, items []Item,
-	done map[int]*ItemResult, man *manifest, dir string) (*Summary, error) {
+	done map[int]*ItemResult, man *Manifest, dir string) (*Summary, error) {
 	sum, err := e.runItems(ctx, spec.Name, items, done, man, dir, false)
 	if sum != nil {
 		sum.SpecHash = spec.Hash()
@@ -191,7 +153,7 @@ type itemState struct {
 // non-nil), and finally writes the deterministic results stream (when all
 // items succeeded and dir is set).
 func (e *Engine) runItems(ctx context.Context, name string, items []Item,
-	done map[int]*ItemResult, man *manifest, dir string, failFast bool) (*Summary, error) {
+	done map[int]*ItemResult, man *Manifest, dir string, failFast bool) (*Summary, error) {
 	if e.Exec == nil {
 		return nil, errors.New("sweep: engine has no executor")
 	}
@@ -347,7 +309,7 @@ func (e *Engine) runItems(ctx context.Context, name string, items []Item,
 				}
 			}
 			if man != nil {
-				if err := man.append(rec); err != nil && manErr == nil {
+				if err := man.Append(rec); err != nil && manErr == nil {
 					manErr = err
 				}
 			}
@@ -370,16 +332,7 @@ func (e *Engine) runItems(ctx context.Context, name string, items []Item,
 
 	sum.Done = true
 	if dir != "" {
-		ordered := make([]*ItemResult, 0, len(items))
-		for _, it := range items {
-			r, ok := results[it.Index]
-			if !ok {
-				return sum, fmt.Errorf("sweep: item %d vanished from the result set", it.Index)
-			}
-			ordered = append(ordered, r)
-		}
-		sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Index < ordered[j].Index })
-		if err := writeResults(dir, ordered); err != nil {
+		if err := FinalizeResults(dir, items, results); err != nil {
 			return sum, err
 		}
 	}
@@ -388,14 +341,17 @@ func (e *Engine) runItems(ctx context.Context, name string, items []Item,
 	return sum, nil
 }
 
-// runItem executes one sweep point with the engine's retry policy and
-// returns its manifest record.
+// runItem executes one sweep point under the shared failure-accounting
+// policy (FailurePolicy — the same rule the cluster coordinator's
+// lease-requeue path applies) and returns its manifest record.
 func (e *Engine) runItem(ctx context.Context, it Item, log *slog.Logger) Record {
 	backoff := e.Backoff
 	if backoff <= 0 {
 		backoff = 100 * time.Millisecond
 	}
+	policy := FailurePolicy{Retries: e.Retries}
 	var lastErr error
+	var attempts int
 	for attempt := 1; ; attempt++ {
 		if e.Metrics != nil {
 			e.Metrics.Active.Add(1)
@@ -414,14 +370,11 @@ func (e *Engine) runItem(ctx context.Context, it Item, log *slog.Logger) Record 
 			log.Debug("sweep: item ok", "index", it.Index, "bench", it.Key.Bench,
 				"scheme", it.Key.Scheme.String(), "outcome", out.String(),
 				"elapsed_ms", float64(elapsed.Microseconds())/1000)
-			return Record{
-				Type: "item", Index: it.Index, Status: "ok",
-				Outcome: out.String(), Attempts: attempt,
-				Result: newItemResult(it, res),
-			}
+			return OKRecord(it, attempt, out.String(), res)
 		}
 		lastErr = err
-		if ctx.Err() != nil || attempt > e.Retries {
+		attempts = attempt
+		if ctx.Err() != nil || policy.Exhausted(attempt) {
 			break
 		}
 		log.Warn("sweep: item retrying", "index", it.Index, "bench", it.Key.Bench,
@@ -439,11 +392,7 @@ func (e *Engine) runItem(ctx context.Context, it Item, log *slog.Logger) Record 
 	}
 	log.Error("sweep: item failed", "index", it.Index, "bench", it.Key.Bench,
 		"scheme", it.Key.Scheme.String(), "err", lastErr)
-	return Record{
-		Type: "item", Index: it.Index, Status: "failed",
-		Attempts: e.Retries + 1,
-		Error:    fmt.Sprintf("%s/%s: %v", it.Key.Bench, it.Key.Scheme, lastErr),
-	}
+	return FailedRecord(it, attempts, lastErr)
 }
 
 // Status summarises a job directory without executing anything.

@@ -1,0 +1,88 @@
+package sweep
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Job-directory lifecycle helpers, shared by the in-process engine and
+// the cluster coordinator (internal/cluster). Both executors speak the
+// same on-disk protocol — spec.json, an fsynced manifest.jsonl, a final
+// results.jsonl — so a job started on one can be resumed by the other,
+// and the spec-hash/resume safety rules are enforced in exactly one
+// place.
+
+// CreateJob initialises a fresh job directory: the spec is persisted and
+// a new manifest is created with its header record. Returns ErrExists
+// when the directory already holds a manifest (resume is the right call
+// there). The caller owns closing the returned manifest.
+func CreateJob(dir string, spec *Spec, items []Item) (*Manifest, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ManifestFile)); err == nil {
+		return nil, ErrExists
+	}
+	if err := writeSpec(dir, spec); err != nil {
+		return nil, err
+	}
+	return createManifest(dir, Record{
+		Name: spec.Name, SpecHash: spec.Hash(), Items: len(items),
+	})
+}
+
+// ResumeJob reopens an interrupted job directory: it loads and
+// re-validates the spec (hash and item count must match the manifest —
+// a sweep can never silently resume under an edited spec), replays the
+// checkpoint into a done-map of items with durable successful results,
+// and reopens the manifest for appending. The caller owns closing the
+// returned manifest.
+func ResumeJob(dir string) (*Spec, []Item, map[int]*ItemResult, *Manifest, error) {
+	spec, err := Load(filepath.Join(dir, SpecFile))
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	hdr, records, err := ReadManifest(dir)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if hdr.SpecHash != spec.Hash() {
+		return nil, nil, nil, nil, fmt.Errorf("sweep: %s was started from a different spec (manifest %.12s…, spec %.12s…)",
+			dir, hdr.SpecHash, spec.Hash())
+	}
+	items, err := spec.Items()
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	if hdr.Items != len(items) {
+		return nil, nil, nil, nil, fmt.Errorf("sweep: manifest in %s records %d items, spec expands to %d",
+			dir, hdr.Items, len(items))
+	}
+	done := make(map[int]*ItemResult, len(records))
+	for idx, rec := range records {
+		if rec.Status == "ok" && rec.Result != nil && idx >= 0 && idx < len(items) {
+			done[idx] = rec.Result
+		}
+	}
+	man, err := openManifest(dir)
+	if err != nil {
+		return nil, nil, nil, nil, err
+	}
+	return spec, items, done, man, nil
+}
+
+// FinalizeResults orders the completed results by item index and writes
+// the deterministic results stream. Every item must be present; a gap is
+// an internal-consistency error.
+func FinalizeResults(dir string, items []Item, results map[int]*ItemResult) error {
+	ordered := make([]*ItemResult, 0, len(items))
+	for _, it := range items {
+		r, ok := results[it.Index]
+		if !ok {
+			return fmt.Errorf("sweep: item %d vanished from the result set", it.Index)
+		}
+		ordered = append(ordered, r)
+	}
+	return WriteResults(dir, ordered)
+}

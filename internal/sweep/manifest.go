@@ -40,8 +40,11 @@ type ItemResult struct {
 	GateViolations uint64  `json:"gate_violations,omitempty"`
 }
 
-// newItemResult projects a simulation result onto the sweep's output row.
-func newItemResult(it Item, res *core.Result) *ItemResult {
+// NewItemResult projects a simulation result onto the sweep's output
+// row. It is exported for the cluster worker, which builds the row on
+// the remote side so the coordinator checkpoints exactly what a
+// single-node engine would have.
+func NewItemResult(it Item, res *core.Result) *ItemResult {
 	return &ItemResult{
 		Index: it.Index, Bench: it.Key.Bench, Scheme: it.Key.Scheme.String(),
 		Deep: it.Key.Deep, IntALU: it.Key.IntALU,
@@ -72,26 +75,27 @@ type Record struct {
 	Result   *ItemResult `json:"result,omitempty"`
 }
 
-// manifest appends fsynced checkpoint records to a job's manifest file.
+// Manifest appends fsynced checkpoint records to a job's manifest file.
 // One fsync per completed simulation is noise next to the simulation
 // itself, and it is what makes kill-anywhere resume sound: a record is
 // either durably complete or absent, never torn (a torn final line is
-// ignored on replay).
-type manifest struct {
+// ignored on replay). Both the in-process engine and the cluster
+// coordinator checkpoint through this type.
+type Manifest struct {
 	mu sync.Mutex
 	f  *os.File
 }
 
 // createManifest starts a fresh manifest with its header record.
-func createManifest(dir string, hdr Record) (*manifest, error) {
+func createManifest(dir string, hdr Record) (*Manifest, error) {
 	f, err := os.OpenFile(filepath.Join(dir, ManifestFile),
 		os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: creating manifest: %w", err)
 	}
-	m := &manifest{f: f}
+	m := &Manifest{f: f}
 	hdr.Type = "header"
-	if err := m.append(hdr); err != nil {
+	if err := m.Append(hdr); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -99,17 +103,17 @@ func createManifest(dir string, hdr Record) (*manifest, error) {
 }
 
 // openManifest reopens an existing manifest for appending.
-func openManifest(dir string) (*manifest, error) {
+func openManifest(dir string) (*Manifest, error) {
 	f, err := os.OpenFile(filepath.Join(dir, ManifestFile),
 		os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: opening manifest: %w", err)
 	}
-	return &manifest{f: f}, nil
+	return &Manifest{f: f}, nil
 }
 
-// append durably writes one record: encode, write, fsync.
-func (m *manifest) append(rec Record) error {
+// Append durably writes one record: encode, write, fsync.
+func (m *Manifest) Append(rec Record) error {
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("sweep: encoding manifest record: %w", err)
@@ -126,7 +130,7 @@ func (m *manifest) append(rec Record) error {
 	return nil
 }
 
-func (m *manifest) Close() error { return m.f.Close() }
+func (m *Manifest) Close() error { return m.f.Close() }
 
 // ReadManifest replays a job's manifest: the header plus the surviving
 // (last-wins) record per item index. A torn trailing line — the signature
@@ -176,10 +180,12 @@ func ReadManifest(dir string) (Record, map[int]Record, error) {
 	return hdr, items, nil
 }
 
-// writeResults emits the deterministic results stream: one ItemResult
+// WriteResults emits the deterministic results stream: one ItemResult
 // JSON line per item in index order, written atomically (temp + rename)
-// so a partially written results file is never observable.
-func writeResults(dir string, results []*ItemResult) error {
+// so a partially written results file is never observable. Exported so
+// the cluster coordinator finalises jobs byte-identically to the
+// engine.
+func WriteResults(dir string, results []*ItemResult) error {
 	tmp, err := os.CreateTemp(dir, ".results-*")
 	if err != nil {
 		return fmt.Errorf("sweep: %w", err)

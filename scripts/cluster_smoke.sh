@@ -1,0 +1,126 @@
+#!/usr/bin/env bash
+# Distributed-sweep smoke test: coordinator + two worker processes, one
+# SIGKILLed mid-sweep.
+#
+# Runs a reference sweep single-node with dcgsweep, then the same spec
+# through a dcgserve coordinator (pure coordinator: no embedded workers)
+# with two dcgworker processes attached, SIGKILLs one worker once items
+# start completing, and asserts:
+#
+#   1. the fleet still finishes the job (the dead worker's leases expire
+#      and requeue on the survivor),
+#   2. the distributed results.jsonl is byte-identical to the
+#      single-node reference, and
+#   3. the progress endpoint exposed the per-worker breakdown while the
+#      job ran.
+#
+# Usage: scripts/cluster_smoke.sh [workdir]
+# The workdir (default: a fresh temp dir) keeps job directories, logs
+# and manifests for post-mortem; CI uploads it as an artifact.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+work="${1:-$(mktemp -d)}"
+mkdir -p "$work"
+echo "cluster-smoke: working in $work"
+
+go build -o "$work/dcgsweep" ./cmd/dcgsweep
+go build -o "$work/dcgserve" ./cmd/dcgserve
+go build -o "$work/dcgworker" ./cmd/dcgworker
+
+spec="$work/spec.json"
+cat > "$spec" <<'EOF'
+{
+  "name": "cluster-smoke",
+  "benchmarks": ["gzip", "mcf", "art", "gcc"],
+  "schemes": ["none", "dcg", "oracle", "plb-ext"],
+  "max_insts": 50000
+}
+EOF
+
+fail() { echo "cluster-smoke: FAIL: $*" >&2; exit 1; }
+
+pids=()
+cleanup() {
+    for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+}
+trap cleanup EXIT
+
+# Reference: one uninterrupted single-node run.
+"$work/dcgsweep" run -spec "$spec" -dir "$work/ref" -workers 2 > "$work/ref-summary.json"
+[ -f "$work/ref/results.jsonl" ] || fail "reference run produced no results.jsonl"
+total=$(grep -c '"type":"item"' "$work/ref/manifest.jsonl")
+
+# Coordinator: cluster mode, no embedded workers, short lease TTL so the
+# killed worker's items requeue quickly.
+port=$((20000 + RANDOM % 20000))
+"$work/dcgserve" -addr "127.0.0.1:$port" -cluster -cluster-workers 0 \
+    -lease-ttl 2s -sweep-dir "$work/jobs" -store-dir "$work/origin-store" \
+    -log-level warn > "$work/dcgserve.log" 2>&1 &
+pids+=($!)
+for _ in $(seq 1 100); do
+    curl -fsS "http://127.0.0.1:$port/healthz" > /dev/null 2>&1 && break
+    kill -0 "${pids[0]}" 2>/dev/null || fail "dcgserve died on startup (see dcgserve.log)"
+    sleep 0.1
+done
+
+# Two worker processes, each with its own local store cache remote-tiered
+# to the coordinator.
+"$work/dcgworker" -join "http://127.0.0.1:$port" -name w1 -parallel 2 \
+    -store-dir "$work/w1-store" -poll 50ms -log-level warn > "$work/w1.log" 2>&1 &
+w1_pid=$!
+pids+=($w1_pid)
+"$work/dcgworker" -join "http://127.0.0.1:$port" -name w2 -parallel 2 \
+    -store-dir "$work/w2-store" -poll 50ms -log-level warn > "$work/w2.log" 2>&1 &
+pids+=($!)
+
+curl -fsS -X POST --data-binary "@$spec" \
+    "http://127.0.0.1:$port/v1/sweeps" > "$work/submit.json" || \
+    fail "sweep submit failed"
+job_id=$(sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' "$work/submit.json" | head -1)
+[ -n "$job_id" ] || fail "submit response has no job id"
+job_dir="$work/jobs/$job_id"
+
+# Wait for first completions, watching the per-worker breakdown, then
+# SIGKILL w1 — no cleanup, no completion report; its leases must expire.
+saw_breakdown=0
+killed=0
+state="running"
+for _ in $(seq 1 1200); do
+    curl -fsS "http://127.0.0.1:$port/v1/sweeps/$job_id/progress" \
+        > "$work/progress.json" 2>/dev/null || true
+    grep -q '"workers":' "$work/progress.json" && saw_breakdown=1
+    state=$(sed -n 's/.*"state": *"\([^"]*\)".*/\1/p' "$work/progress.json" | head -1)
+    [ "$state" != "running" ] && [ -n "$state" ] && break
+    if [ "$killed" -eq 0 ]; then
+        done_items=$(grep -c '"status":"ok"' "$job_dir/manifest.jsonl" 2>/dev/null || true)
+        if [ "${done_items:-0}" -ge 2 ]; then
+            kill -9 "$w1_pid" 2>/dev/null || true
+            killed=1
+            echo "cluster-smoke: SIGKILLed worker w1 with $done_items/$total items checkpointed"
+        fi
+    fi
+    sleep 0.1
+done
+[ "$killed" -eq 1 ] || fail "never reached the kill point (job finished too fast or stalled)"
+[ "$state" = "done" ] || fail "cluster sweep finished in state '$state' (see $work/*.log)"
+[ "$saw_breakdown" -eq 1 ] || fail "progress endpoint never exposed the per-worker breakdown"
+
+# Determinism: the surviving fleet's results must be byte-identical to
+# the single-node reference.
+curl -fsS "http://127.0.0.1:$port/v1/sweeps/$job_id/results" > "$work/cluster-results.jsonl" || \
+    fail "results fetch failed"
+cmp "$work/ref/results.jsonl" "$work/cluster-results.jsonl" || \
+    fail "distributed results.jsonl differs from the single-node reference"
+cmp "$work/ref/results.jsonl" "$job_dir/results.jsonl" || \
+    fail "on-disk job results differ from the single-node reference"
+
+# The fleet's metrics surface must show cluster activity.
+curl -fsS "http://127.0.0.1:$port/metrics" > "$work/metrics.txt"
+grep -q '^dcg_cluster_leases_granted_total [1-9]' "$work/metrics.txt" || \
+    fail "no leases counted on /metrics"
+expired=$(sed -n 's/^dcg_cluster_lease_expirations_total \([0-9]*\).*/\1/p' "$work/metrics.txt")
+echo "cluster-smoke: $total items; lease expirations after kill: ${expired:-0}"
+
+echo "cluster-smoke: OK ($total items; worker killed mid-sweep; byte-identical results)"
