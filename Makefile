@@ -41,11 +41,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Pinned to -cpu=1 so benchmark names stay suffix-free (comparable
+# against BENCH_baseline.json) and the default replay path resolves to
+# the serial kernel; the parallel engine's worker counts are explicit
+# workers=N sub-benchmarks. For real parallel scaling numbers run
+# `go test -bench='Parallel$' -benchmem .` without -cpu on a multi-core
+# machine.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ ./...
+	$(GO) test -bench=. -benchmem -run=^$$ -cpu=1 ./...
 
 bench-json:
-	$(GO) test -bench=. -benchmem -run=^$$ ./... | $(GO) run ./cmd/benchjson
+	$(GO) test -bench=. -benchmem -run=^$$ -cpu=1 ./... | $(GO) run ./cmd/benchjson
 
 serve:
 	$(GO) run ./cmd/dcgserve

@@ -5,16 +5,17 @@ package core
 // sets, per-scheme results are derived from decode-time bit-planes and
 // aggregates in O(cycles/64)-ish work instead of a full per-cycle
 // callback replay, with Results bit-identical to the scalar fused
-// engine. Ineligible sets (PLB is timing-changing and never gets here;
-// telemetry runs, mismatched machine configs, bus schedules beyond the
-// histogram's exact range) fall back to scalar ReplayAll transparently.
+// engine. Ineligible schemes (PLB is timing-changing and never gets
+// here; telemetry runs, mismatched machine configs, bus schedules
+// beyond the histogram's exact range) fall back to scalar ReplayAll
+// transparently — per scheme on the automatic route, whole-set on the
+// strict EvaluateTimingPacked entry.
 
 import (
 	"fmt"
 	"sync/atomic"
 
 	"dcg/internal/gating"
-	"dcg/internal/power"
 )
 
 // Package-wide packed-replay accounting, exported for the service's
@@ -65,54 +66,57 @@ func (s *Simulator) EvaluateTimingPacked(t *Timing, kinds []SchemeKind) ([]*Resu
 	return results, nil
 }
 
-// evalPackedSchemes attempts the packed evaluation of a scheme set.
-// ok=false (with nil error) means the caller should fall back to the
-// scalar fused engine; an error means the evaluation is invalid on any
-// path. All-or-nothing across the set: one ineligible scheme sends the
-// whole set to the scalar engine, keeping the one-pass fusion there.
-func (s *Simulator) evalPackedSchemes(t *Timing, schemes []gating.Scheme) ([]*Result, bool, error) {
+// planPackedSchemes builds one gating.PackedPlan per scheme, returning
+// the plans and how many are valid. plans is nil (with npacked 0) when
+// the simulator cannot take the packed route at all — telemetry
+// attached or packed replay disabled. A decode failure or a
+// trace/timing cycle disagreement is an error on any path.
+func (s *Simulator) planPackedSchemes(t *Timing, schemes []gating.Scheme) (plans []gating.PackedPlan, npacked int, err error) {
 	if s.Telemetry != nil || s.DisablePackedReplay {
-		return nil, false, nil
+		return nil, 0, nil
 	}
 	d, err := t.Trace.Decode()
 	if err != nil {
-		return nil, false, err
+		return nil, 0, err
 	}
 	if d.Cycles() != t.CPUStats.Cycles {
-		return nil, false, fmt.Errorf("core: trace replays %d cycles but timing ran %d",
+		return nil, 0, fmt.Errorf("core: trace replays %d cycles but timing ran %d",
 			d.Cycles(), t.CPUStats.Cycles)
 	}
-
-	tallies := make([]power.Tally, len(schemes))
-	leads := make([]uint64, len(schemes))
+	plans = make([]gating.PackedPlan, len(schemes))
 	for i, scheme := range schemes {
-		tally, lead, ok := gating.PackedTally(d, scheme, t.Machine)
-		if !ok {
+		if gating.PackedTallyPlan(d, scheme, t.Machine, &plans[i]) {
+			npacked++
+		}
+	}
+	return plans, npacked, nil
+}
+
+// evalPackedSchemes attempts the packed evaluation of a whole scheme
+// set. ok=false (with nil error) means at least one scheme cannot be
+// packed-evaluated and the caller must route around this entry; an
+// error means the evaluation is invalid on any path. All-or-nothing by
+// contract — this is the strict engine under EvaluateTimingPacked; the
+// automatic route (EvaluateTimingSchemes) splits mixed sets per scheme
+// instead of calling this.
+func (s *Simulator) evalPackedSchemes(t *Timing, schemes []gating.Scheme) ([]*Result, bool, error) {
+	plans, npacked, err := s.planPackedSchemes(t, schemes)
+	if err != nil {
+		return nil, false, err
+	}
+	if plans == nil || npacked != len(schemes) {
+		if plans != nil {
 			packedFallbackCount.Add(uint64(len(schemes)))
-			return nil, false, nil
 		}
-		tallies[i] = tally
-		leads[i] = lead
+		return nil, false, nil
 	}
-
+	idx := make([]int, len(schemes))
+	for i := range idx {
+		idx[i] = i
+	}
 	results := make([]*Result, len(schemes))
-	for i, scheme := range schemes {
-		model, err := power.NewModel(t.Machine)
-		if err != nil {
-			return nil, false, err
-		}
-		acct := power.NewAccountant(model, scheme)
-		acct.LeakageFrac = s.LeakageFrac
-		acct.Tally = tallies[i]
-		if err := acct.Validate(); err != nil {
-			return nil, false, fmt.Errorf("core: scheme %s: %w", scheme.Name(), err)
-		}
-		res := resultFor(t, scheme, model, acct)
-		// The scheme instance was never fed, so resultFor's type switch
-		// read zero lead violations; install the packed kernel's count.
-		res.LeadViolations = leads[i]
-		results[i] = res
+	if err := s.runPackedPlans(t, schemes, idx, plans, results); err != nil {
+		return nil, false, err
 	}
-	packedSchemeCount.Add(uint64(len(schemes)))
 	return results, true, nil
 }

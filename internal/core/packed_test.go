@@ -240,9 +240,10 @@ func TestPackedReplayAdversarialTraces(t *testing.T) {
 }
 
 // TestPackedReplayRouting pins the automatic routing and its counters:
-// eligible sets ride the packed kernel, a machine-mismatched scheme
-// falls the whole set back to the scalar engine with identical results,
-// and the strict entry refuses what it cannot pack.
+// eligible sets ride the packed kernel, a machine-mismatched scheme in a
+// mixed set falls back to the scalar engine alone (split-set routing)
+// with identical results, and the strict entry refuses what it cannot
+// pack.
 func TestPackedReplayRouting(t *testing.T) {
 	sim := NewSimulator(DefaultMachine())
 	sim.Warmup = 10_000
@@ -269,8 +270,10 @@ func TestPackedReplayRouting(t *testing.T) {
 		t.Fatalf("eligible set recorded %d fallbacks, want 0", got)
 	}
 
-	// A scheme built for a foreign machine: ineligible, whole set falls
-	// back to the scalar engine and still returns correct results.
+	// A scheme built for a foreign machine: ineligible, so the automatic
+	// route splits the set — the eligible scheme still rides the packed
+	// kernel while only the mismatched one takes the scalar engine — and
+	// both return correct results.
 	other := DefaultMachine()
 	other.IssueWidth = 4
 	mixed := []gating.Scheme{gating.NewDCG(DefaultMachine()), gating.NewDCG(other)}
@@ -281,11 +284,15 @@ func TestPackedReplayRouting(t *testing.T) {
 	if len(results) != 2 {
 		t.Fatalf("fallback evaluation returned %d results, want 2", len(results))
 	}
-	if got := PackedReplayFallbacks() - fallback0; got != 2 {
-		t.Fatalf("fallback counter advanced %d, want 2 (whole set)", got)
+	if got := PackedReplayFallbacks() - fallback0; got != 1 {
+		t.Fatalf("fallback counter advanced %d, want 1 (only the mismatched scheme)", got)
 	}
-	if got := usagetrace.FusedSchemes() - fused0; got != 2 {
-		t.Fatalf("fallback fed %d scalar sinks, want 2", got)
+	if got := PackedReplaySchemes() - packed0; got != uint64(len(kinds))+1 {
+		t.Fatalf("packed-scheme counter advanced %d, want %d (eligible half of the mixed set)",
+			got, len(kinds)+1)
+	}
+	if got := usagetrace.FusedSchemes() - fused0; got != 1 {
+		t.Fatalf("fallback fed %d scalar sinks, want 1", got)
 	}
 	reference, err := sim.EvaluateTimingScheme(tm, gating.NewDCG(DefaultMachine()))
 	if err != nil {

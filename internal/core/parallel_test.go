@@ -1,0 +1,233 @@
+package core
+
+// Golden tests for the cycle-sharded parallel replay engine: for every
+// registered timing-neutral scheme and for adversarial shard-boundary
+// traces, the sharded kernel must return Results bit-identical to the
+// scalar fused engine at every worker count — including counts that do
+// not divide the word count and counts exceeding it.
+
+import (
+	"testing"
+
+	"dcg/internal/cpu"
+	"dcg/internal/gating"
+)
+
+// timingNeutralKinds returns every registered scheme kind that replay
+// can evaluate.
+func timingNeutralKinds() []SchemeKind {
+	var kinds []SchemeKind
+	for _, k := range AllSchemes() {
+		if TimingNeutral(k) {
+			kinds = append(kinds, k)
+		}
+	}
+	return kinds
+}
+
+// TestParallelReplayWorkerCountsBitIdentical is the engine's headline
+// golden test: every registered timing-neutral scheme — packed-capable
+// and scalar-fallback alike — evaluated at 1, 2, 4 and 7 workers against
+// the scalar engine's reference, on a real captured benchmark carrying
+// every channel any scheme needs.
+func TestParallelReplayWorkerCountsBitIdentical(t *testing.T) {
+	sim := NewSimulator(DefaultMachine())
+	sim.Warmup = 10_000
+	tm, err := sim.CaptureBenchmark("gzip", 20_000, ChannelUnion(AllSchemes()...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := timingNeutralKinds()
+	if len(kinds) < 4 {
+		t.Fatalf("only %d timing-neutral kinds registered", len(kinds))
+	}
+	reference, err := scalarSim().EvaluateTimingAll(tm, kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 7} {
+		par := NewSimulator(DefaultMachine())
+		par.ReplayWorkers = workers
+		res, err := par.EvaluateTimingAll(tm, kinds)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, k := range kinds {
+			assertBitIdentical(t, k.String()+"/workers="+itoa(workers), reference[i], res[i])
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestParallelReplayShardBoundaries sweeps trace lengths that land on
+// every word-boundary edge — single cycle, one-bit-short of a word, one
+// full word, partial tails, many words — across worker counts below, at,
+// and far above the word count (64 workers on a 1-word trace leaves most
+// shard ranges empty).
+func TestParallelReplayShardBoundaries(t *testing.T) {
+	kinds := []SchemeKind{SchemeNone, SchemeDCG, SchemeOracle, SchemeLector}
+	for _, n := range []int{1, 63, 64, 100, 131, 1000} {
+		usages := make([]cpu.Usage, n)
+		for c := range usages {
+			usages[c] = cpu.Usage{
+				IssueCount: c % 4, CommitCount: c % 5, FetchCount: c % 9,
+				IntALUBusy: uint32(c) & 0x3f, DPortUsed: c % 3, ResultBus: c % 5,
+				WindowOccupancy: c % 129,
+				BackLatch:       []int{c % 3, c % 4, c % 5, c % 2, c % 7},
+			}
+		}
+		events := map[int][]cpu.IssueEvent{}
+		for c := 0; c+4 < n; c += 13 {
+			events[c] = []cpu.IssueEvent{{
+				FUIdx: c % 4, FUType: cpu.FUType(c % int(cpu.NumFUTypes)),
+				FUStart: uint64(c + 2), FULat: 1 + c%3,
+				IsLoad: true, DPortCycle: uint64(c + 3),
+				WritesReg: true, ResultBusCycle: uint64(c + 4),
+			}}
+		}
+		tm := craftTiming(t, usages, events)
+		reference, err := scalarSim().EvaluateTimingAll(tm, kinds)
+		if err != nil {
+			t.Fatalf("n=%d: scalar: %v", n, err)
+		}
+		for _, workers := range []int{1, 2, 4, 7, 64} {
+			par := NewSimulator(DefaultMachine())
+			par.ReplayWorkers = workers
+			res, err := par.EvaluateTimingAll(tm, kinds)
+			if err != nil {
+				t.Fatalf("n=%d workers=%d: %v", n, workers, err)
+			}
+			for i, k := range kinds {
+				assertBitIdentical(t, "n="+itoa(n)+"/"+k.String()+"/workers="+itoa(workers),
+					reference[i], res[i])
+			}
+		}
+	}
+}
+
+// TestParallelReplayZeroCycleTrace pins agreement on the degenerate
+// empty trace: whatever the scalar engine does (error or zero results),
+// the sharded engine must do the same at every worker count.
+func TestParallelReplayZeroCycleTrace(t *testing.T) {
+	tm := craftTiming(t, nil, nil)
+	kinds := []SchemeKind{SchemeNone, SchemeDCG}
+	refRes, refErr := scalarSim().EvaluateTimingAll(tm, kinds)
+	for _, workers := range []int{1, 4, 64} {
+		par := NewSimulator(DefaultMachine())
+		par.ReplayWorkers = workers
+		res, err := par.EvaluateTimingAll(tm, kinds)
+		if (err == nil) != (refErr == nil) {
+			t.Fatalf("workers=%d: err = %v, scalar err = %v", workers, err, refErr)
+		}
+		if err != nil {
+			continue
+		}
+		for i, k := range kinds {
+			assertBitIdentical(t, "zero-cycle/"+k.String(), refRes[i], res[i])
+		}
+	}
+}
+
+// TestParallelReplayDCGSubsets runs every DCG ablation subset through
+// the sharded engine at worker counts that do not divide typical word
+// counts.
+func TestParallelReplayDCGSubsets(t *testing.T) {
+	sim := NewSimulator(DefaultMachine())
+	sim.Warmup = 10_000
+	tm, err := sim.CaptureBenchmark("gzip", 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := scalarSim().EvaluateTimingSchemes(tm, allDCGSubsets())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 7} {
+		par := NewSimulator(DefaultMachine())
+		par.ReplayWorkers = workers
+		res, err := par.EvaluateTimingSchemes(tm, allDCGSubsets())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range res {
+			assertBitIdentical(t, res[i].Scheme+"/workers="+itoa(workers), reference[i], res[i])
+		}
+	}
+}
+
+// TestParallelReplayShardCounter pins the shard-task accounting: a
+// serial evaluation counts one shard per scheme, a sharded one counts
+// workers shards per packed scheme.
+func TestParallelReplayShardCounter(t *testing.T) {
+	sim := NewSimulator(DefaultMachine())
+	tm, err := sim.CaptureBenchmark("gzip", 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []SchemeKind{SchemeNone, SchemeDCG, SchemeOracle}
+
+	sim.ReplayWorkers = 1
+	before := ReplayShardsExecuted()
+	if _, err := sim.EvaluateTimingAll(tm, kinds); err != nil {
+		t.Fatal(err)
+	}
+	if got := ReplayShardsExecuted() - before; got != uint64(len(kinds)) {
+		t.Fatalf("serial evaluation executed %d shards, want %d", got, len(kinds))
+	}
+
+	sim.ReplayWorkers = 4
+	before = ReplayShardsExecuted()
+	if _, err := sim.EvaluateTimingAll(tm, kinds); err != nil {
+		t.Fatal(err)
+	}
+	if got := ReplayShardsExecuted() - before; got != uint64(4*len(kinds)) {
+		t.Fatalf("4-worker evaluation executed %d shards, want %d", got, 4*len(kinds))
+	}
+}
+
+// TestParallelReplayMixedSetSplit drives the split-set scheduler with a
+// genuinely mixed set — packed-capable schemes plus a machine-mismatched
+// one — at several worker counts, checking results stay identical to
+// per-scheme scalar references.
+func TestParallelReplayMixedSetSplit(t *testing.T) {
+	sim := NewSimulator(DefaultMachine())
+	tm, err := sim.CaptureBenchmark("gzip", 20_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := DefaultMachine()
+	other.IssueWidth = 4
+	mixed := []gating.Scheme{
+		gating.NewDCG(DefaultMachine()),
+		gating.NewDCG(other),
+		gating.NewOracle(DefaultMachine()),
+	}
+	reference, err := scalarSim().EvaluateTimingSchemes(tm, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		par := NewSimulator(DefaultMachine())
+		par.ReplayWorkers = workers
+		res, err := par.EvaluateTimingSchemes(tm, mixed)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range mixed {
+			assertBitIdentical(t, "mixed["+itoa(i)+"]/workers="+itoa(workers), reference[i], res[i])
+		}
+	}
+}

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"dcg/internal/gating"
 	"dcg/internal/power"
@@ -86,49 +87,92 @@ func (s *Simulator) EvaluateTimingSchemes(t *Timing, schemes []gating.Scheme) ([
 		return results, nil
 	}
 
-	// Word-at-a-time fast path: when every scheme in the set can be
-	// derived from the decode-time bit-packed columns, skip the per-cycle
-	// replay entirely (bit-identical results, golden-tested). Falls
-	// through to the scalar fused engine otherwise.
-	if results, ok, err := s.evalPackedSchemes(t, schemes); err != nil {
+	// Split-set routing: every packed-capable scheme rides the
+	// scheme×shard kernel pool (bit-identical results, golden-tested);
+	// the rest share one scalar fused pass. A mixed set runs both engines
+	// concurrently — the scalar subset on its own goroutine — since both
+	// only read the immutable decoded trace.
+	plans, _, err := s.planPackedSchemes(t, schemes)
+	if err != nil {
 		return nil, err
-	} else if ok {
+	}
+	var packedIdx, scalarIdx []int
+	for i := range schemes {
+		if plans != nil && plans[i].Valid() {
+			packedIdx = append(packedIdx, i)
+		} else {
+			scalarIdx = append(scalarIdx, i)
+		}
+	}
+	if plans != nil && len(scalarIdx) > 0 {
+		packedFallbackCount.Add(uint64(len(scalarIdx)))
+	}
+
+	results := make([]*Result, len(schemes))
+	if len(packedIdx) == 0 {
+		if err := s.evalScalarSubset(t, schemes, scalarIdx, results); err != nil {
+			return nil, err
+		}
 		return results, nil
 	}
 
-	// One power model + accountant lane per scheme: the lanes are fully
-	// independent (construction is deterministic, replay state is
-	// per-lane), so each lane integrates exactly the float sequence its
-	// sequential replay would.
-	models := make([]*power.Model, len(schemes))
-	accts := make([]*power.Accountant, len(schemes))
-	sinks := make([]usagetrace.Sink, len(schemes))
-	for i, scheme := range schemes {
+	var scalarErr error
+	var wg sync.WaitGroup
+	if len(scalarIdx) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scalarErr = s.evalScalarSubset(t, schemes, scalarIdx, results)
+		}()
+	}
+	packedErr := s.runPackedPlans(t, schemes, packedIdx, plans, results)
+	wg.Wait()
+	if packedErr != nil {
+		return nil, packedErr
+	}
+	if scalarErr != nil {
+		return nil, scalarErr
+	}
+	return results, nil
+}
+
+// evalScalarSubset runs the scalar fused engine over the schemes
+// selected by idx, writing each Result into results[i]. One power model
+// + accountant lane per scheme: the lanes are fully independent
+// (construction is deterministic, replay state is per-lane), so each
+// lane integrates exactly the float sequence its sequential replay
+// would.
+func (s *Simulator) evalScalarSubset(t *Timing, schemes []gating.Scheme, idx []int, results []*Result) error {
+	models := make([]*power.Model, len(idx))
+	accts := make([]*power.Accountant, len(idx))
+	sinks := make([]usagetrace.Sink, len(idx))
+	for j, i := range idx {
+		scheme := schemes[i]
 		model, err := power.NewModel(t.Machine)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		acct := power.NewAccountant(model, scheme)
 		acct.LeakageFrac = s.LeakageFrac
-		models[i] = model
-		accts[i] = acct
-		sinks[i] = usagetrace.Sink{Issue: scheme, Cycle: acct}
+		models[j] = model
+		accts[j] = acct
+		sinks[j] = usagetrace.Sink{Issue: scheme, Cycle: acct}
 	}
 
 	cycles, err := t.ReplayMulti(sinks...)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if cycles != t.CPUStats.Cycles {
-		return nil, fmt.Errorf("core: trace replays %d cycles but timing ran %d", cycles, t.CPUStats.Cycles)
+		return fmt.Errorf("core: trace replays %d cycles but timing ran %d", cycles, t.CPUStats.Cycles)
 	}
 
-	results := make([]*Result, len(schemes))
-	for i, scheme := range schemes {
-		if err := accts[i].Validate(); err != nil {
-			return nil, fmt.Errorf("core: scheme %s: %w", scheme.Name(), err)
+	for j, i := range idx {
+		scheme := schemes[i]
+		if err := accts[j].Validate(); err != nil {
+			return fmt.Errorf("core: scheme %s: %w", scheme.Name(), err)
 		}
-		results[i] = resultFor(t, scheme, models[i], accts[i])
+		results[i] = resultFor(t, scheme, models[j], accts[j])
 	}
-	return results, nil
+	return nil
 }

@@ -64,9 +64,11 @@ type DCG struct {
 	cfg  config.Config
 	opts DCGOptions
 
-	fuSched    [cpu.NumFUTypes][schedHorizon]uint32
-	dportSched [schedHorizon]int
-	busSched   [schedHorizon]int
+	// rings holds the controller's schedule state, allocated on first
+	// use: packed replay instantiates controllers for their name and
+	// configuration but never feeds them a cycle, and eagerly zeroing
+	// ~256KB of ring per instance was that path's largest single cost.
+	rings *dcgRings
 
 	// stages is the number of gatable back-end latch stages.
 	stages int
@@ -85,6 +87,25 @@ type DCG struct {
 
 	// GatedUnitCycles / observed totals, for reporting.
 	stats DCGStats
+}
+
+// dcgRings is the controller's schedule storage — the latched GRANT
+// masks and port/bus counts indexed by target cycle modulo the horizon.
+type dcgRings struct {
+	fuSched    [cpu.NumFUTypes][schedHorizon]uint32
+	dportSched [schedHorizon]int
+	busSched   [schedHorizon]int
+}
+
+// ensureRings allocates the schedule rings on first touch. Both OnIssue
+// and Gates call it: a replayed trace may deliver a usage vector before
+// any issue event, and the zero rings must then read as an all-gated
+// schedule exactly as the eager arrays did.
+func (d *DCG) ensureRings() *dcgRings {
+	if d.rings == nil {
+		d.rings = &dcgRings{}
+	}
+	return d.rings
 }
 
 // DCGStats summarises the controller's gating activity.
@@ -160,25 +181,26 @@ func (d *DCG) Limits(uint64, cpu.CycleFeedback) cpu.Limits {
 // OnIssue implements cpu.IssueListener: it latches the GRANT signal and
 // sets up the future clock-enable schedule.
 func (d *DCG) OnIssue(ev cpu.IssueEvent) {
+	r := d.ensureRings()
 	if ev.FUIdx >= 0 {
 		if ev.FUStart <= ev.Cycle {
 			d.LeadViolations++
 		}
 		for c := ev.FUStart; c < ev.FUStart+uint64(ev.FULat); c++ {
-			d.fuSched[ev.FUType][c%schedHorizon] |= 1 << uint(ev.FUIdx)
+			r.fuSched[ev.FUType][c%schedHorizon] |= 1 << uint(ev.FUIdx)
 		}
 	}
 	if ev.IsLoad || ev.IsStore {
 		if ev.DPortCycle <= ev.Cycle {
 			d.LeadViolations++
 		}
-		d.dportSched[ev.DPortCycle%schedHorizon]++
+		r.dportSched[ev.DPortCycle%schedHorizon]++
 	}
 	if ev.WritesReg {
 		if ev.ResultBusCycle <= ev.Cycle {
 			d.LeadViolations++
 		}
-		d.busSched[ev.ResultBusCycle%schedHorizon]++
+		r.busSched[ev.ResultBusCycle%schedHorizon]++
 	}
 }
 
@@ -189,14 +211,15 @@ func (d *DCG) OnIssue(ev cpu.IssueEvent) {
 // across cycles.
 func (d *DCG) Gates(cycle uint64, u *cpu.Usage) power.GateState {
 	idx := cycle % schedHorizon
+	r := d.ensureRings()
 
 	var gs power.GateState
-	gs.IntALUMask = d.fuSched[cpu.FUIntALU][idx]
-	gs.IntMultMask = d.fuSched[cpu.FUIntMult][idx]
-	gs.FPALUMask = d.fuSched[cpu.FUFPALU][idx]
-	gs.FPMultMask = d.fuSched[cpu.FUFPMult][idx]
+	gs.IntALUMask = r.fuSched[cpu.FUIntALU][idx]
+	gs.IntMultMask = r.fuSched[cpu.FUIntMult][idx]
+	gs.FPALUMask = r.fuSched[cpu.FUFPALU][idx]
+	gs.FPMultMask = r.fuSched[cpu.FUFPMult][idx]
 	for t := 0; t < int(cpu.NumFUTypes); t++ {
-		d.fuSched[t][idx] = 0
+		r.fuSched[t][idx] = 0
 	}
 	// Control toggle accounting (before any ablation override, since the
 	// control signals exist regardless).
@@ -209,14 +232,14 @@ func (d *DCG) Gates(cycle uint64, u *cpu.Usage) power.GateState {
 		gs.IntALUMask, gs.IntMultMask, gs.FPALUMask, gs.FPMultMask = ia, im, fa, fm
 	}
 
-	gs.DPortsOn = d.dportSched[idx]
-	d.dportSched[idx] = 0
+	gs.DPortsOn = r.dportSched[idx]
+	r.dportSched[idx] = 0
 	if !d.opts.GateDCache {
 		gs.DPortsOn = d.cfg.DL1.Ports
 	}
 
-	bus := d.busSched[idx]
-	d.busSched[idx] = 0
+	bus := r.busSched[idx]
+	r.busSched[idx] = 0
 	if bus > d.cfg.IssueWidth {
 		bus = d.cfg.IssueWidth
 	}

@@ -1,0 +1,51 @@
+// Package par is the repository's tiny fork-join primitive: a bounded
+// pool of worker goroutines draining an indexed task list. The replay
+// and decode layers use it to shard word-range work across cores; it is
+// deliberately minimal — no contexts, no errors, no generics — because
+// every caller writes task results into disjoint, pre-sized slots and
+// handles errors after the join.
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Do runs fn(0) … fn(n-1) on up to `workers` goroutines and returns
+// when every call has finished. Tasks are claimed from a shared atomic
+// counter, so uneven task costs balance across workers; callers must
+// make tasks independent (each writing only its own output slot).
+//
+// workers <= 1 (or n <= 1) degenerates to a plain sequential loop on
+// the calling goroutine: no goroutines, no synchronization, no
+// allocations — the serial path stays exactly the serial path.
+func Do(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

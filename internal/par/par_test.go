@@ -1,0 +1,48 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestDoCoversEveryIndexExactlyOnce checks the work-stealing loop's only
+// contract: every index in [0, n) runs exactly once, for worker counts
+// below, at, and above n.
+func TestDoCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			hits := make([]atomic.Int32, n)
+			Do(workers, n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times, want 1", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+// TestDoSerialPathAllocatesNothing pins the 1-worker degenerate case: a
+// plain inline loop, no goroutines, no allocations — what keeps the
+// parallel replay engine's 1-worker configuration identical to the old
+// serial kernel.
+func TestDoSerialPathAllocatesNothing(t *testing.T) {
+	var sum atomic.Int64
+	fn := func(i int) { sum.Add(int64(i)) }
+	allocs := testing.AllocsPerRun(100, func() {
+		Do(1, 64, fn)
+	})
+	if allocs != 0 {
+		t.Fatalf("Do(1, 64, fn) allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestDoPanicsPropagate is not required — fn must not panic by contract —
+// but negative n must be a no-op, not a hang.
+func TestDoNegativeN(t *testing.T) {
+	ran := false
+	Do(4, -1, func(int) { ran = true })
+	if ran {
+		t.Fatal("Do with negative n invoked fn")
+	}
+}

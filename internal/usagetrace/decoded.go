@@ -188,7 +188,7 @@ func decodeColumns(r *Reader, cyclesHint uint64) (*Decoded, error) {
 		return nil, fmt.Errorf("usagetrace: decoded %d cycles but trace header declares %d",
 			d.cycles, cyclesHint)
 	}
-	d.packed = buildPacked(d)
+	d.packed = buildPackedAuto(d)
 	return d, nil
 }
 

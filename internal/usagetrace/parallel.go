@@ -1,0 +1,284 @@
+package usagetrace
+
+// Parallel construction of the Packed view. The serial builder
+// (buildPacked) is one fused pass; this file splits that pass into its
+// two independent halves and runs them concurrently:
+//
+//   - the DCG schedule mirror — inherently sequential (the ring carries
+//     state from cycle to cycle), so it runs whole on one goroutine,
+//     producing the schedule planes, schedule aggregates, and lead
+//     violations;
+//   - everything else — the usage planes, column maxima, and column
+//     sums are pure per-cycle functions of the decoded columns, so they
+//     shard by word range across workers, each shard writing disjoint
+//     plane words and accumulating private partial sums/maxima that
+//     merge commutatively.
+//
+// Both builders produce identical Packed values: every shared field is
+// an integer sum, a bitwise OR, or a max — all order-free — which the
+// equivalence test pins across worker counts.
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dcg/internal/cpu"
+	"dcg/internal/par"
+)
+
+// decodePar is the package-wide decode parallelism: how many worker
+// goroutines buildPackedAuto may use. <= 0 means runtime.GOMAXPROCS.
+var decodePar atomic.Int64
+
+// SetDecodeParallelism sets the worker-goroutine budget for packed-view
+// construction at decode time. n <= 0 restores the default
+// (runtime.GOMAXPROCS at decode time); n == 1 forces the serial builder.
+func SetDecodeParallelism(n int) { decodePar.Store(int64(n)) }
+
+// DecodeParallelism returns the resolved decode worker budget.
+func DecodeParallelism() int {
+	if n := int(decodePar.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// minParallelWords is the plane size below which fan-out costs more
+// than it saves (goroutine start ~ µs, per-word work ~ ns) and the
+// serial builder runs regardless of the configured parallelism.
+const minParallelWords = 64
+
+// buildPackedAuto picks the builder: the serial fused pass for one
+// worker or small traces, the sharded builder otherwise.
+func buildPackedAuto(d *Decoded) *Packed {
+	workers := DecodeParallelism()
+	words := int((d.cycles + 63) / 64)
+	if workers <= 1 || words < minParallelWords {
+		return buildPacked(d)
+	}
+	return buildPackedParallel(d, workers)
+}
+
+// packPartial is one shard's private accumulator: the order-free sums
+// and maxima a word-range pass produces, merged into the Packed after
+// the join.
+type packPartial struct {
+	busyOr             [cpu.NumFUTypes]uint32
+	maxDPort           int32
+	maxBus             int32
+	maxLatch           int32
+	maxAbsOcc          int32
+	backLatchSum       int64
+	backLatchNewValSum int64
+	fetchSum           int64
+}
+
+// partialPool recycles shard-accumulator slabs so steady-state decodes
+// on a warm process allocate no per-shard scratch.
+var partialPool = sync.Pool{New: func() any { return new([]packPartial) }}
+
+func takePartials(n int) *[]packPartial {
+	sp := partialPool.Get().(*[]packPartial)
+	if cap(*sp) < n {
+		*sp = make([]packPartial, n)
+	}
+	*sp = (*sp)[:n]
+	for i := range *sp {
+		(*sp)[i] = packPartial{}
+	}
+	return sp
+}
+
+// buildPackedParallel is buildPacked with the usage-plane work sharded
+// across `workers` goroutines while the schedule mirror runs
+// concurrently on its own. Produces a Packed identical to the serial
+// builder's for any worker count.
+func buildPackedParallel(d *Decoded, workers int) *Packed {
+	n := d.cycles
+	words := int((n + 63) / 64)
+	p := &Packed{cycles: n, words: words, d: d}
+	for t := range p.fuBusy {
+		p.fuBusy[t] = make([]uint64, words)
+	}
+	p.dportUse = make([]uint64, words)
+	p.latchNZ = make([][]uint64, d.stages)
+	for s := range p.latchNZ {
+		p.latchNZ[s] = make([]uint64, words)
+	}
+	p.issueNE = make([]uint64, words)
+	p.commitNE = make([]uint64, words)
+	if d.backLatchNewVal != nil {
+		p.latchValNZ = make([][]uint64, d.stages)
+		for s := range p.latchValNZ {
+			p.latchValNZ[s] = make([]uint64, words)
+		}
+	}
+	p.unitOverSched = make([]uint64, words)
+	p.dportOverSched = make([]uint64, words)
+	p.busOverSched = make([]uint64, words)
+
+	mirrored := make(chan struct{})
+	go func() {
+		defer close(mirrored)
+		p.buildSchedMirror()
+	}()
+
+	shards := workers
+	if shards > words {
+		shards = words
+	}
+	partials := takePartials(shards)
+	par.Do(workers, shards, func(k int) {
+		lo := k * words / shards
+		hi := (k + 1) * words / shards
+		p.buildUsageWords(&(*partials)[k], lo, hi)
+	})
+	for i := range *partials {
+		q := &(*partials)[i]
+		for t := range p.busyOr {
+			p.busyOr[t] |= q.busyOr[t]
+		}
+		if q.maxDPort > p.maxDPort {
+			p.maxDPort = q.maxDPort
+		}
+		if q.maxBus > p.maxBus {
+			p.maxBus = q.maxBus
+		}
+		if q.maxLatch > p.maxLatch {
+			p.maxLatch = q.maxLatch
+		}
+		if q.maxAbsOcc > p.maxAbsOcc {
+			p.maxAbsOcc = q.maxAbsOcc
+		}
+		p.backLatchSum += q.backLatchSum
+		p.backLatchNewValSum += q.backLatchNewValSum
+		p.fetchSum += q.fetchSum
+	}
+	partialPool.Put(partials)
+	<-mirrored
+	return p
+}
+
+// buildSchedMirror is the sequential half of the parallel build: it
+// replays every issue event through the mirrored DCG rings in delivery
+// order and fills the schedule-violation planes, schedule aggregates,
+// and lead-violation count — exactly the schedule-touching statements
+// of buildPacked's fused loop.
+func (p *Packed) buildSchedMirror() {
+	d := p.d
+	m := &schedMirror{}
+	for c := uint64(0); c < p.cycles; c++ {
+		events := d.events[d.evOff[c]:d.evOff[c+1]]
+		for i := range events {
+			m.onIssue(&events[i], &p.leadViol)
+		}
+
+		idx := c % SchedHorizon
+		w, bit := c>>6, uint64(1)<<(c&63)
+
+		dp := m.dport[idx]
+		m.dport[idx] = 0
+		bs := m.bus[idx]
+		m.bus[idx] = 0
+		p.dportSchedOn += dp
+		if bs < busHistMax {
+			p.busSchedHist[bs]++
+		} else {
+			p.busSchedHist[busHistMax]++
+		}
+
+		busy := [cpu.NumFUTypes]uint32{d.intALU[c], d.intMult[c], d.fpALU[c], d.fpMult[c]}
+		unitOver := false
+		for t := 0; t < int(cpu.NumFUTypes); t++ {
+			sched := m.fu[t][idx]
+			m.fu[t][idx] = 0
+			p.schedUnitOn[t] += int64(bits.OnesCount32(sched))
+			if busy[t]&^sched != 0 {
+				unitOver = true
+			}
+		}
+		if unitOver {
+			p.unitOverSched[w] |= bit
+		}
+		if int64(d.dport[c]) > dp {
+			p.dportOverSched[w] |= bit
+		}
+		if int64(d.resultBus[c]) > bs {
+			p.busOverSched[w] |= bit
+		}
+	}
+}
+
+// buildUsageWords fills the usage planes for words [loW, hiW) and
+// accumulates the shard's partial sums and maxima — the
+// schedule-independent statements of buildPacked's fused loop over the
+// shard's cycle range. Shards touch disjoint plane words, so concurrent
+// shards never write the same memory.
+func (p *Packed) buildUsageWords(q *packPartial, loW, hiW int) {
+	d := p.d
+	lo, hi := uint64(loW)*64, uint64(hiW)*64
+	if hi > p.cycles {
+		hi = p.cycles
+	}
+	for c := lo; c < hi; c++ {
+		w, bit := c>>6, uint64(1)<<(c&63)
+
+		busy := [cpu.NumFUTypes]uint32{d.intALU[c], d.intMult[c], d.fpALU[c], d.fpMult[c]}
+		for t := 0; t < int(cpu.NumFUTypes); t++ {
+			q.busyOr[t] |= busy[t]
+			if busy[t] != 0 {
+				p.fuBusy[t][w] |= bit
+			}
+		}
+
+		dport := d.dport[c]
+		if dport > 0 {
+			p.dportUse[w] |= bit
+		}
+		if dport > q.maxDPort {
+			q.maxDPort = dport
+		}
+
+		if rb := d.resultBus[c]; rb > q.maxBus {
+			q.maxBus = rb
+		}
+
+		if d.issue[c] != 0 {
+			p.issueNE[w] |= bit
+		}
+		if d.commit[c] != 0 {
+			p.commitNE[w] |= bit
+		}
+
+		base := int(c) * d.stages
+		for s := 0; s < d.stages; s++ {
+			v := d.backLatch[base+s]
+			if v != 0 {
+				p.latchNZ[s][w] |= bit
+			}
+			if v > q.maxLatch {
+				q.maxLatch = v
+			}
+			q.backLatchSum += int64(v)
+		}
+		if d.backLatchNewVal != nil {
+			for s := 0; s < d.stages; s++ {
+				v := d.backLatchNewVal[base+s]
+				if v != 0 {
+					p.latchValNZ[s][w] |= bit
+				}
+				q.backLatchNewValSum += int64(v)
+			}
+		}
+		q.fetchSum += int64(d.fetchN[c])
+		occ := d.occ[c]
+		if occ < 0 {
+			occ = -occ
+		}
+		if occ > q.maxAbsOcc {
+			q.maxAbsOcc = occ
+		}
+	}
+}

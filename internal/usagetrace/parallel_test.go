@@ -1,0 +1,143 @@
+package usagetrace
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"dcg/internal/cpu"
+)
+
+// craftBusyTrace scripts a trace of n cycles with every usage column
+// varying and a sprinkling of issue events (so the schedule mirror, the
+// violation planes, and the lead-violation counter all have work to do).
+func craftBusyTrace(t *testing.T, n, stages int) *Trace {
+	t.Helper()
+	usages := make([]cpu.Usage, n)
+	backs := make([][]int, n)
+	for c := range usages {
+		backs[c] = []int{c % 2, c % 7, c % 9}[:stages]
+		usages[c] = cpu.Usage{
+			IssueCount:      c % 3,
+			CommitCount:     (c + 1) % 4,
+			IntALUBusy:      uint32(c) & 0x3f,
+			IntMultBusy:     uint32(c>>1) & 0x3,
+			FPALUBusy:       uint32(c>>2) & 0xf,
+			FPMultBusy:      uint32(c>>3) & 0xf,
+			DPortUsed:       c % 3,
+			ResultBus:       c % 5,
+			FetchCount:      c % 9,
+			WindowOccupancy: c % 129,
+			BackLatch:       backs[c],
+		}
+	}
+	events := map[int][]cpu.IssueEvent{}
+	for c := 0; c+4 < n; c += 17 {
+		events[c] = []cpu.IssueEvent{{
+			FUIdx: c % 4, FUType: cpu.FUType(c % int(cpu.NumFUTypes)),
+			FUStart: uint64(c + 2), FULat: 1 + c%3,
+			IsLoad: c%2 == 0, DPortCycle: uint64(c + 3),
+			WritesReg: true, ResultBusCycle: uint64(c + 4),
+		}}
+	}
+	return craftTrace(t, stages, usages, events)
+}
+
+// TestBuildPackedParallelMatchesSerial is the parallel-decode golden
+// test: for adversarial trace lengths (single cycle, word-boundary
+// straddles, tail words, shards exceeding words) and worker counts that
+// do not divide the word count, the sharded builder must produce a
+// Packed deeply equal to the serial one — every plane word and every
+// aggregate, not just the sums the kernels read.
+func TestBuildPackedParallelMatchesSerial(t *testing.T) {
+	const stages = 3
+	for _, n := range []int{1, 63, 64, 65, 100, 131, 453, 1024} {
+		tr := craftBusyTrace(t, n, stages)
+		d, err := tr.Decode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		serial := buildPacked(d)
+		for _, workers := range []int{2, 4, 7, 64} {
+			got := buildPackedParallel(d, workers)
+			if !reflect.DeepEqual(serial, got) {
+				t.Fatalf("n=%d workers=%d: parallel decode diverges from serial\nserial: %+v\nparallel: %+v",
+					n, workers, serial, got)
+			}
+		}
+	}
+}
+
+// TestDecodeParallelismKnob pins the knob's resolution rules and that a
+// large decode routed through the knob (decodeColumns -> buildPackedAuto)
+// still matches the serial builder bit for bit.
+func TestDecodeParallelismKnob(t *testing.T) {
+	defer SetDecodeParallelism(0)
+
+	SetDecodeParallelism(7)
+	if got := DecodeParallelism(); got != 7 {
+		t.Fatalf("DecodeParallelism() = %d after SetDecodeParallelism(7)", got)
+	}
+	SetDecodeParallelism(0)
+	if got := DecodeParallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("DecodeParallelism() = %d with the default, want GOMAXPROCS (%d)",
+			got, runtime.GOMAXPROCS(0))
+	}
+
+	// 4100 cycles = 65 words >= minParallelWords, so the auto path goes
+	// parallel when the knob says so.
+	tr := craftBusyTrace(t, 4100, 3)
+	SetDecodeParallelism(3)
+	d, err := tr.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(buildPacked(d), d.Packed()) {
+		t.Fatal("auto-parallel decode diverges from the serial builder")
+	}
+}
+
+// BenchmarkDecodeParallel measures the sharded bit-plane builder alone
+// (the trace is pre-decoded; each iteration rebuilds the Packed view),
+// one sub-benchmark per worker count for deterministic names under the
+// CI harness's -cpu=1 pin. Run without -cpu on a multi-core box for
+// real scaling numbers.
+func BenchmarkDecodeParallel(b *testing.B) {
+	usages := make([]cpu.Usage, 200_000)
+	backs := make([]int, 3)
+	for c := range usages {
+		usages[c] = cpu.Usage{
+			IssueCount: c % 3, IntALUBusy: uint32(c) & 0xf,
+			DPortUsed: c % 2, ResultBus: c % 4,
+			WindowOccupancy: c % 129, BackLatch: backs,
+		}
+	}
+	rec, err := NewRecorder("bench", 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for c := range usages {
+		usages[c].Cycle = uint64(c)
+		rec.OnCycle(&usages[c])
+	}
+	tr, err := rec.Trace()
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := tr.Decode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if p := buildPackedParallel(d, workers); p.Cycles() != d.Cycles() {
+					b.Fatal("bad decode")
+				}
+			}
+		})
+	}
+}
